@@ -1,0 +1,95 @@
+// Command ptabench regenerates the tables and figures of the paper's
+// evaluation (Section 7). Each experiment prints an aligned text table whose
+// shape corresponds to one paper artifact; EXPERIMENTS.md records the
+// paper-reported values next to the reproduced ones.
+//
+// Usage:
+//
+//	ptabench -list
+//	ptabench -exp fig15
+//	ptabench -all -scale 0.5 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		exp    = flag.String("exp", "", "run a single experiment by id (e.g. fig15)")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = reproduction scale)")
+		seed   = flag.Int64("seed", 42, "dataset generation seed")
+		quick  = flag.Bool("quick", false, "tiny smoke-test sizes")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "ptabench: need -list, -exp <id>, or -all (see -help)")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ptabench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := tab.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

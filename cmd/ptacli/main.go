@@ -1,0 +1,173 @@
+// Command ptacli runs temporal aggregation queries over CSV relations: ITA
+// (instant), STA (span), exact PTA (size- or error-bounded), and the
+// streaming greedy variants.
+//
+// The input format is the one produced by internal/csvio: a header of
+// name:kind columns followed by tstart,tend, e.g.
+//
+//	Empl:string,Proj:string,Sal:float,tstart,tend
+//	John,A,800,1,4
+//
+// Examples:
+//
+//	ptacli -in proj.csv -group Proj -agg avg:Sal ita
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -c 4 pta
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -eps 0.2 pta
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -c 4 -delta 1 gpta
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -span 4 sta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/ita"
+	"repro/internal/sta"
+	"repro/internal/temporal"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input relation CSV (required)")
+		out   = flag.String("out", "", "output CSV (default: stdout, human readable)")
+		group = flag.String("group", "", "comma-separated grouping attributes")
+		aggs  = flag.String("agg", "", "comma-separated aggregates func:attr[:as] (e.g. avg:Sal,count:)")
+		c     = flag.Int("c", 0, "size bound for pta/gpta")
+		eps   = flag.Float64("eps", -1, "error bound in [0,1] for pta/gpta (alternative to -c)")
+		delta = flag.Int("delta", 1, "read-ahead δ for gpta (-1 = ∞)")
+		span  = flag.Int64("span", 0, "span width for sta")
+	)
+	flag.Parse()
+	if *in == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ptacli -in data.csv [flags] {ita|sta|pta|gpta}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	op := flag.Arg(0)
+
+	rel, err := csvio.LoadRelationFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	query, err := parseQuery(*group, *aggs)
+	if err != nil {
+		fail(err)
+	}
+
+	var result *temporal.Sequence
+	switch op {
+	case "ita":
+		result, err = ita.Eval(rel, query)
+	case "sta":
+		if *span <= 0 {
+			fail(fmt.Errorf("sta needs -span > 0"))
+		}
+		tspan, ok := rel.TimeSpan()
+		if !ok {
+			fail(fmt.Errorf("empty input relation"))
+		}
+		spans, serr := sta.Spans(tspan.Start, tspan.End, *span)
+		if serr != nil {
+			fail(serr)
+		}
+		result, err = sta.Eval(rel, query, spans)
+	case "pta":
+		seq, ierr := ita.Eval(rel, query)
+		if ierr != nil {
+			fail(ierr)
+		}
+		var res *core.DPResult
+		switch {
+		case *eps >= 0:
+			res, err = core.PTAe(seq, *eps, core.Options{})
+		case *c > 0:
+			res, err = core.PTAc(seq, *c, core.Options{})
+		default:
+			fail(fmt.Errorf("pta needs -c or -eps"))
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "pta: reduced %d ITA tuples to %d, error %.6g\n", seq.Len(), res.C, res.Error)
+			result = res.Sequence
+		}
+	case "gpta":
+		it, ierr := ita.NewIterator(rel, query)
+		if ierr != nil {
+			fail(ierr)
+		}
+		d := *delta
+		if d < 0 {
+			d = core.DeltaInf
+		}
+		var res *core.GreedyResult
+		switch {
+		case *eps >= 0:
+			// Estimates per Section 6.3: n̂ = 2|r|−1, Êmax from the exact
+			// computation over a second pass (the CLI has the data local).
+			seq, serr := ita.Eval(rel, query)
+			if serr != nil {
+				fail(serr)
+			}
+			est, eerr := core.ExactEstimate(seq, core.Options{})
+			if eerr != nil {
+				fail(eerr)
+			}
+			res, err = core.GPTAe(it, *eps, d, est, core.Options{})
+		case *c > 0:
+			res, err = core.GPTAc(it, *c, d, core.Options{})
+		default:
+			fail(fmt.Errorf("gpta needs -c or -eps"))
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "gpta: result size %d, error %.6g, max heap %d\n", res.C, res.Error, res.MaxHeap)
+			result = res.Sequence
+		}
+	default:
+		fail(fmt.Errorf("unknown operation %q (want ita, sta, pta or gpta)", op))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *out != "" {
+		if err := csvio.SaveSequenceFile(*out, result); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(result.String())
+}
+
+func parseQuery(group, aggs string) (ita.Query, error) {
+	var q ita.Query
+	if group != "" {
+		q.GroupBy = strings.Split(group, ",")
+	}
+	if aggs == "" {
+		return q, fmt.Errorf("need at least one -agg")
+	}
+	for _, spec := range strings.Split(aggs, ",") {
+		parts := strings.SplitN(spec, ":", 3)
+		f, err := ita.ParseFunc(parts[0])
+		if err != nil {
+			return q, err
+		}
+		a := ita.AggSpec{Func: f}
+		if len(parts) > 1 {
+			a.Attr = parts[1]
+		}
+		if len(parts) > 2 {
+			a.As = parts[2]
+		}
+		q.Aggs = append(q.Aggs, a)
+	}
+	return q, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ptacli: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/ita"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("Proj,Dept", "avg:Sal,count:,max:Sal:TopSal")
+	if err != nil {
+		t.Fatalf("parseQuery: %v", err)
+	}
+	if len(q.GroupBy) != 2 || q.GroupBy[0] != "Proj" || q.GroupBy[1] != "Dept" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+	if len(q.Aggs) != 3 {
+		t.Fatalf("Aggs = %v", q.Aggs)
+	}
+	if q.Aggs[0].Func != ita.Avg || q.Aggs[0].Attr != "Sal" {
+		t.Errorf("agg 0 = %+v", q.Aggs[0])
+	}
+	if q.Aggs[1].Func != ita.Count || q.Aggs[1].Attr != "" {
+		t.Errorf("agg 1 = %+v", q.Aggs[1])
+	}
+	if q.Aggs[2].As != "TopSal" {
+		t.Errorf("agg 2 = %+v", q.Aggs[2])
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	if _, err := parseQuery("", ""); err == nil {
+		t.Error("no aggregates should fail")
+	}
+	if _, err := parseQuery("", "median:Sal"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}

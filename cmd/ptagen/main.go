@@ -1,0 +1,101 @@
+// Command ptagen writes the synthetic evaluation datasets (Section 7.1 /
+// Table 1 stand-ins) to CSV so they can be inspected, replayed through
+// ptacli, or loaded elsewhere. Relations (proj, etds, incumbents) use the
+// relation CSV format; series (chaotic, tide, wind, uniform) are written as
+// sequential relations.
+//
+// Examples:
+//
+//	ptagen -dataset proj -out proj.csv
+//	ptagen -dataset etds -records 60000 -horizon 1600 -seed 1 -out etds.csv
+//	ptagen -dataset wind -n 6574 -dims 12 -gaps 215 -out wind.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/csvio"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "", "proj | etds | incumbents | chaotic | tide | wind | uniform")
+		out     = flag.String("out", "", "output CSV path (required)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		records = flag.Int("records", 60000, "etds/incumbents: number of tuples")
+		horizon = flag.Int("horizon", 1600, "etds/incumbents: months covered")
+		n       = flag.Int("n", 1800, "series length")
+		dims    = flag.Int("dims", 12, "wind/uniform: dimensions")
+		gaps    = flag.Int("gaps", 215, "wind: number of temporal gaps")
+		groups  = flag.Int("groups", 1, "uniform: aggregation groups")
+	)
+	flag.Parse()
+	if *name == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: ptagen -dataset <name> -out <file.csv> [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*name, *out, genParams{
+		seed: *seed, records: *records, horizon: *horizon,
+		n: *n, dims: *dims, gaps: *gaps, groups: *groups,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "ptagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type genParams struct {
+	seed                  int64
+	records, horizon      int
+	n, dims, gaps, groups int
+}
+
+func run(name, out string, p genParams) error {
+	switch name {
+	case "proj":
+		return csvio.SaveRelationFile(out, dataset.Proj())
+	case "etds":
+		rel, err := dataset.ETDS(dataset.ETDSConfig{Records: p.records, Horizon: p.horizon, Seed: p.seed})
+		if err != nil {
+			return err
+		}
+		return csvio.SaveRelationFile(out, rel)
+	case "incumbents":
+		rel, err := dataset.Incumbents(dataset.IncumbentsConfig{
+			Records: p.records, Depts: 8, Projs: 6, Horizon: p.horizon, Seed: p.seed,
+		})
+		if err != nil {
+			return err
+		}
+		return csvio.SaveRelationFile(out, rel)
+	case "chaotic":
+		seq, err := dataset.Chaotic(p.n)
+		if err != nil {
+			return err
+		}
+		return csvio.SaveSequenceFile(out, seq)
+	case "tide":
+		seq, err := dataset.Tide(p.n, p.seed)
+		if err != nil {
+			return err
+		}
+		return csvio.SaveSequenceFile(out, seq)
+	case "wind":
+		seq, err := dataset.Wind(p.n, p.dims, p.gaps, p.seed)
+		if err != nil {
+			return err
+		}
+		return csvio.SaveSequenceFile(out, seq)
+	case "uniform":
+		perGroup := p.n / max(1, p.groups)
+		seq, err := dataset.Uniform(p.groups, max(1, perGroup), p.dims, p.seed)
+		if err != nil {
+			return err
+		}
+		return csvio.SaveSequenceFile(out, seq)
+	}
+	return fmt.Errorf("unknown dataset %q", name)
+}

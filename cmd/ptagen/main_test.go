@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/csvio"
+)
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	p := genParams{seed: 1, records: 300, horizon: 120, n: 100, dims: 3, gaps: 5, groups: 2}
+	for _, name := range []string{"proj", "etds", "incumbents", "chaotic", "tide", "wind", "uniform"} {
+		out := filepath.Join(dir, name+".csv")
+		if err := run(name, out, p); err != nil {
+			t.Fatalf("run(%s): %v", name, err)
+		}
+		info, err := os.Stat(out)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("%s: empty or missing output (%v)", name, err)
+		}
+	}
+}
+
+func TestRunProjRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "proj.csv")
+	if err := run("proj", out, genParams{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rel, err := csvio.LoadRelationFile(out)
+	if err != nil {
+		t.Fatalf("LoadRelationFile: %v", err)
+	}
+	if rel.Len() != 5 {
+		t.Errorf("proj has %d tuples, want 5", rel.Len())
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("zap", filepath.Join(t.TempDir(), "x.csv"), genParams{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataset") {
+		t.Errorf("unknown dataset should fail, got %v", err)
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	if err := run("wind", filepath.Join(t.TempDir(), "w.csv"), genParams{n: 2, dims: 1, gaps: 99}); err == nil {
+		t.Error("invalid wind params should fail")
+	}
+}

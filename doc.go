@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Parsimonious Temporal
+// Aggregation" (Gordevicius, Gamper, Böhlen; EDBT 2009 / VLDB Journal 2012).
+//
+// The library lives under internal/: the temporal relational model
+// (internal/temporal), instant and span temporal aggregation (internal/ita,
+// internal/sta), the PTA operator with its exact dynamic-programming and
+// streaming greedy evaluators (internal/core), the time-series approximation
+// baselines (internal/approx), V-optimal histograms (internal/histogram),
+// the synthetic evaluation workloads (internal/dataset), CSV storage
+// (internal/csvio), and the experiment harness that regenerates every table
+// and figure of the paper (internal/experiments, cmd/ptabench).
+//
+// bench_test.go at this root wraps one benchmark family around each paper
+// artifact; see DESIGN.md for the inventory and EXPERIMENTS.md for
+// paper-versus-measured numbers.
+package repro

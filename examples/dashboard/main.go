@@ -1,0 +1,77 @@
+// Dashboard demonstrates the amnesic extension (Section 2.2 of the paper,
+// after Palpanas et al.): a monitoring dashboard keeps the recent history of
+// a metric at full fidelity while progressively forgetting detail about the
+// past — old stretches collapse into wide segments, fresh ones stay fine.
+// The same budget spent uniformly (plain PTA) is shown for contrast.
+//
+// Run with: go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/amnesic"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/temporal"
+)
+
+func main() {
+	// A day of per-minute latency-like measurements (Mackey-Glass chaos
+	// makes a plausible bursty metric).
+	series, err := dataset.Chaotic(1440)
+	if err != nil {
+		log.Fatal(err)
+	}
+	now := temporal.Chronon(series.Len() - 1)
+	const budget = 48 // one segment per half hour, on average
+
+	// Uniform PTA: minimal total error, agnostic of age.
+	uniform, err := core.GPTAc(core.NewSliceStream(series), budget, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Amnesic reduction: errors in the oldest hours are forgiven ~3000×
+	// more than errors right now (RA grows to ~2900 at the oldest sample).
+	am, err := amnesic.ReduceSize(series, budget, amnesic.LinearAge(now, 2.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("metric: %d samples → %d segments\n\n", series.Len(), budget)
+	fmt.Printf("%-22s %-14s %-14s\n", "", "uniform PTA", "amnesic PTA")
+	buckets := []struct {
+		label      string
+		start, end temporal.Chronon
+	}{
+		{"oldest third", 0, 479},
+		{"middle third", 480, 959},
+		{"recent third", 960, 1439},
+	}
+	for _, b := range buckets {
+		fmt.Printf("%-22s %-14d %-14d\n", b.label+" segments",
+			segmentsIn(uniform.Sequence, b.start, b.end),
+			segmentsIn(am.Sequence, b.start, b.end))
+	}
+	fmt.Printf("\ntotal squared error: uniform %.1f, amnesic %.1f (amnesic shifts error into the past)\n",
+		uniform.Error, am.Error)
+
+	// The newest segments of the amnesic result are short; print them.
+	fmt.Println("\nmost recent amnesic segments:")
+	rows := am.Sequence.Rows
+	for _, r := range rows[max(0, len(rows)-6):] {
+		fmt.Printf("  %v  value %.2f\n", r.T, r.Aggs[0])
+	}
+}
+
+func segmentsIn(seq *temporal.Sequence, lo, hi temporal.Chronon) int {
+	n := 0
+	for _, r := range seq.Rows {
+		if r.T.Start <= hi && r.T.End >= lo {
+			n++
+		}
+	}
+	return n
+}

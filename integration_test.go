@@ -1,0 +1,186 @@
+// Integration tests across module boundaries: relation → ITA (streaming and
+// batch) → exact and greedy PTA → CSV persistence, on generated workloads.
+package repro
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/dataset"
+	"repro/internal/ita"
+	"repro/internal/temporal"
+)
+
+// TestPipelineStreamingGreedyMatchesBatch wires a real ita.Iterator into
+// gPTAc (the paper's integrated evaluation) and cross-checks it against the
+// batch path: ITA materialized first, then reduced.
+func TestPipelineStreamingGreedyMatchesBatch(t *testing.T) {
+	rel, err := dataset.Incumbents(dataset.IncumbentsConfig{
+		Records: 4000, Depts: 4, Projs: 3, Horizon: 120, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ita.Query{
+		GroupBy: []string{"Dept", "Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Salary"}, {Func: ita.Count}},
+	}
+	batchSeq, err := ita.Eval(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := max(batchSeq.CMin(), batchSeq.Len()/10)
+
+	it, err := ita.NewIterator(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := core.GPTAc(it, c, core.DeltaInf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.GPTAc(core.NewSliceStream(batchSeq), c, core.DeltaInf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamed.Sequence.Equal(batch.Sequence, 1e-9) {
+		t.Error("streaming and batch greedy results differ")
+	}
+	if err := streamed.Sequence.Validate(); err != nil {
+		t.Errorf("streamed result invalid: %v", err)
+	}
+	// The reported greedy error must match an independent recomputation.
+	sse, err := core.SSEBetween(batchSeq, streamed.Sequence, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sse-streamed.Error) > 1e-6*(1+sse) {
+		t.Errorf("reported error %v vs recomputed %v", streamed.Error, sse)
+	}
+}
+
+// TestPipelineExactBeatsGreedy: on the same workload the DP error lower
+// bounds the greedy error, and PTAe(ε) sizes agree with the error curve.
+func TestPipelineExactBeatsGreedy(t *testing.T) {
+	rel, err := dataset.ETDS(dataset.ETDSConfig{Records: 3000, Horizon: 300, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ita.Query{Aggs: []ita.AggSpec{{Func: ita.Avg, Attr: "Salary"}}}
+	seq, err := ita.Eval(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := max(seq.CMin(), seq.Len()/8)
+	exact, err := core.PTAc(seq, c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := core.GMS(seq, c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Error < exact.Error-1e-9*(1+exact.Error) {
+		t.Errorf("greedy error %v below the optimum %v", greedy.Error, exact.Error)
+	}
+	// Theorem 1 sanity on a real workload.
+	if exact.Error > 0 {
+		ratio := greedy.Error / exact.Error
+		if ratio > 10*(1+math.Log(float64(seq.Len()))) {
+			t.Errorf("error ratio %v violates the O(log n) envelope", ratio)
+		}
+	}
+
+	px, err := core.NewPrefix(seq, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.5, 0.05, 0.001} {
+		res, err := core.PTAe(seq, eps, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := eps * px.MaxError()
+		if res.Error > bound+1e-9*(1+bound) {
+			t.Errorf("ε=%v: error %v exceeds bound %v", eps, res.Error, bound)
+		}
+	}
+}
+
+// TestPipelineCSVRoundTrip persists a generated relation and its PTA result
+// and reloads the relation losslessly.
+func TestPipelineCSVRoundTrip(t *testing.T) {
+	rel, err := dataset.Incumbents(dataset.IncumbentsConfig{
+		Records: 500, Depts: 2, Projs: 2, Horizon: 60, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := csvio.StoreRelation(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := csvio.LoadRelation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(back) {
+		t.Error("CSV round trip changed the relation")
+	}
+	seq, err := ita.Eval(back, ita.Query{
+		GroupBy: []string{"Dept"},
+		Aggs:    []ita.AggSpec{{Func: ita.Sum, Attr: "Salary"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.PTAc(seq, max(seq.CMin(), 10), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := csvio.StoreSequence(&buf, res.Sequence); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty sequence CSV")
+	}
+}
+
+// TestPipelineMultiAggregateWeights: a two-aggregate query with weights
+// biases the merging choices exactly as Definition 5 prescribes.
+func TestPipelineMultiAggregateWeights(t *testing.T) {
+	// Two dimensions: dimension 0 with a step at the midpoint, dimension 1
+	// with a step at the quarter point. With all weight on dimension 0 the
+	// 2-tuple reduction must split at the midpoint, and vice versa.
+	seq := temporal.NewSequence(nil, []string{"a", "b"})
+	gid := seq.Groups.Intern(nil)
+	for i := 0; i < 16; i++ {
+		a, b := 0.0, 0.0
+		if i >= 8 {
+			a = 10
+		}
+		if i >= 4 {
+			b = 10
+		}
+		seq.Rows = append(seq.Rows, temporal.SeqRow{
+			Group: gid, Aggs: []float64{a, b}, T: temporal.Inst(temporal.Chronon(i))})
+	}
+	resA, err := core.PTAc(seq, 2, core.Options{Weights: []float64{100, 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Sequence.Rows[0].T.End != 7 {
+		t.Errorf("weighting dim a should split at 7|8, got end %d", resA.Sequence.Rows[0].T.End)
+	}
+	resB, err := core.PTAc(seq, 2, core.Options{Weights: []float64{0.01, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Sequence.Rows[0].T.End != 3 {
+		t.Errorf("weighting dim b should split at 3|4, got end %d", resB.Sequence.Rows[0].T.End)
+	}
+}

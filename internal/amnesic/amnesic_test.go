@@ -1,0 +1,162 @@
+package amnesic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/temporal"
+)
+
+func unitSequence(vals []float64) *temporal.Sequence {
+	seq := temporal.NewSequence(nil, []string{"v"})
+	gid := seq.Groups.Intern(nil)
+	for i, v := range vals {
+		seq.Rows = append(seq.Rows, temporal.SeqRow{Group: gid, Aggs: []float64{v},
+			T: temporal.Inst(temporal.Chronon(i))})
+	}
+	return seq
+}
+
+func randVals(rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Round(rng.Float64()*1000) / 8
+	}
+	return vals
+}
+
+// TestReduceSizeEquivalentToGPTAc pins the paper's Section 2.2 claim: "For
+// time series data and parameter δ = 0 for gPTAc, the two algorithms are
+// equivalent" (with the amnesic effect disabled, RA ≡ 1).
+func TestReduceSizeEquivalentToGPTAc(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := unitSequence(randVals(rng, 5+rng.Intn(60)))
+		c := 1 + rng.Intn(seq.Len())
+		am, err1 := ReduceSize(seq, c, Constant(1))
+		gp, err2 := core.GPTAc(core.NewSliceStream(seq), c, 0, core.Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return am.Sequence.Equal(gp.Sequence, 1e-9) &&
+			math.Abs(am.Error-gp.Error) <= 1e-9*(1+gp.Error)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReduceErrorEquivalentToATC pins the second equivalence: "For an
+// absolute amnesic function AA(t) = ε ... the problem becomes equivalent to
+// ATC."
+func TestReduceErrorEquivalentToATC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := unitSequence(randVals(rng, 5+rng.Intn(60)))
+		eps := rng.Float64() * 500
+		am, err1 := ReduceError(seq, Constant(eps))
+		atc, err2 := approx.ATC(seq, eps, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return am.Equal(atc, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReduceSizeAmnesiaPrefersOldMerges: with a relative amnesic function
+// that forgives old errors, merges concentrate on the old half of the
+// series.
+func TestReduceSizeAmnesiaPrefersOldMerges(t *testing.T) {
+	// Alternating values: any merge costs the same raw error everywhere, so
+	// only the amnesic scaling decides where merges happen.
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64((i % 2) * 10)
+	}
+	seq := unitSequence(vals)
+	now := temporal.Chronon(len(vals) - 1)
+	res, err := ReduceSize(seq, 40, LinearAge(now, 5))
+	if err != nil {
+		t.Fatalf("ReduceSize: %v", err)
+	}
+	if res.Sequence.Len() != 40 {
+		t.Fatalf("C = %d, want 40", res.Sequence.Len())
+	}
+	// The first (oldest) rows should be merged into longer segments than
+	// the last (newest) rows.
+	firstLen := res.Sequence.Rows[0].T.Len()
+	lastLen := res.Sequence.Rows[res.Sequence.Len()-1].T.Len()
+	if firstLen <= lastLen {
+		t.Errorf("oldest segment length %d should exceed newest %d", firstLen, lastLen)
+	}
+}
+
+// TestReduceErrorTighterRecentBound: an absolute amnesic function with a
+// small allowance on recent data yields finer recent segments.
+func TestReduceErrorTighterRecentBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := randVals(rng, 200)
+	seq := unitSequence(vals)
+	aa := func(t temporal.Chronon) float64 {
+		if t >= 150 {
+			return 1 // recent: almost exact
+		}
+		return 1e6 // old: anything goes
+	}
+	res, err := ReduceError(seq, aa)
+	if err != nil {
+		t.Fatalf("ReduceError: %v", err)
+	}
+	var oldRows, newRows int
+	for _, r := range res.Rows {
+		if r.T.Start >= 150 {
+			newRows++
+		} else {
+			oldRows++
+		}
+	}
+	if oldRows >= newRows {
+		t.Errorf("old rows %d should be far fewer than recent rows %d", oldRows, newRows)
+	}
+}
+
+func TestReduceSizeValidation(t *testing.T) {
+	seq := unitSequence([]float64{1, 2})
+	if _, err := ReduceSize(seq, 0, nil); err == nil {
+		t.Error("c = 0 should fail")
+	}
+	res, err := ReduceSize(seq, 5, nil)
+	if err != nil || res.Sequence.Len() != 2 {
+		t.Errorf("c ≥ n should keep the input: %v, %v", res, err)
+	}
+}
+
+func TestReduceErrorValidation(t *testing.T) {
+	if _, err := ReduceError(unitSequence([]float64{1}), nil); err == nil {
+		t.Error("nil amnesic function should fail")
+	}
+}
+
+// TestReduceSizeRespectsGapsAndGroups: non-adjacent pairs never merge.
+func TestReduceSizeRespectsGapsAndGroups(t *testing.T) {
+	seq := temporal.NewSequence(nil, []string{"v"})
+	gid := seq.Groups.Intern(nil)
+	seq.Rows = []temporal.SeqRow{
+		{Group: gid, Aggs: []float64{1}, T: temporal.Inst(0)},
+		{Group: gid, Aggs: []float64{1}, T: temporal.Inst(5)}, // gap
+	}
+	res, err := ReduceSize(seq, 1, Constant(1))
+	if err != nil {
+		t.Fatalf("ReduceSize: %v", err)
+	}
+	if res.Sequence.Len() != 2 {
+		t.Errorf("C = %d; merging across the gap must be impossible", res.Sequence.Len())
+	}
+}

@@ -1,0 +1,166 @@
+package approx
+
+import (
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// APCA computes the adaptive piecewise constant approximation (Chakrabarti,
+// Keogh, Mehrotra & Pazzani 2002) of a one-dimensional series with c
+// segments: the series is decomposed into Haar coefficients, reconstructed
+// from the c most significant ones (which yields up to ~3c plateaus), every
+// plateau's value is replaced by the true mean of the underlying data, and
+// the most similar adjacent segments are merged greedily until c remain.
+// APCA is data-adaptive, but its segment boundaries are inherited from the
+// non-adaptive wavelet decomposition — the weakness the paper's Fig. 2(f)
+// and Fig. 15 demonstrate against gPTAc.
+func APCA(vals []float64, c int, start temporal.Chronon) ([]Segment, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("approx: APCA of an empty series")
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("approx: APCA segment count %d, want ≥ 1", c)
+	}
+	c = min(c, n)
+	rec, err := DWTTopK(vals, c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plateau boundaries of the wavelet reconstruction, with true means.
+	type seg struct {
+		lo, hi int // half-open sample range
+		sum    float64
+		sqsum  float64
+	}
+	var segs []seg
+	lo := 0
+	for i := 1; i <= n; i++ {
+		if i == n || rec[i] != rec[lo] {
+			s := seg{lo: lo, hi: i}
+			for _, v := range vals[lo:i] {
+				s.sum += v
+				s.sqsum += v * v
+			}
+			segs = append(segs, s)
+			lo = i
+		}
+	}
+
+	sse := func(s seg) float64 {
+		n := float64(s.hi - s.lo)
+		e := s.sqsum - s.sum*s.sum/n
+		if e < 0 {
+			return 0
+		}
+		return e
+	}
+	// Greedily merge the adjacent pair whose union increases the error
+	// least until only c segments remain. A lazy-deletion binary heap of
+	// candidate pairs keeps the step O(s log s), which matters when the
+	// scalability experiments run APCA on millions of samples.
+	type segNode struct {
+		seg
+		prev, next *segNode
+		version    int
+		dead       bool
+	}
+	var head *segNode
+	{
+		var tail *segNode
+		for _, s := range segs {
+			n := &segNode{seg: s}
+			if tail == nil {
+				head = n
+			} else {
+				tail.next = n
+				n.prev = tail
+			}
+			tail = n
+		}
+	}
+	type cand struct {
+		inc     float64
+		left    *segNode
+		version int
+	}
+	var heap []cand
+	less := func(a, b cand) bool { return a.inc < b.inc }
+	push := func(c cand) {
+		heap = append(heap, c)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() cand {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r, best := 2*i+1, 2*i+2, i
+			if l < len(heap) && less(heap[l], heap[best]) {
+				best = l
+			}
+			if r < len(heap) && less(heap[r], heap[best]) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+		return top
+	}
+	pairInc := func(a, b *segNode) float64 {
+		m := seg{lo: a.lo, hi: b.hi, sum: a.sum + b.sum, sqsum: a.sqsum + b.sqsum}
+		return sse(m) - sse(a.seg) - sse(b.seg)
+	}
+	for n := head; n != nil && n.next != nil; n = n.next {
+		push(cand{inc: pairInc(n, n.next), left: n, version: 0})
+	}
+	remaining := len(segs)
+	for remaining > c && len(heap) > 0 {
+		top := pop()
+		l := top.left
+		if l.dead || l.version != top.version || l.next == nil {
+			continue // stale entry
+		}
+		r := l.next
+		l.hi, l.sum, l.sqsum = r.hi, l.sum+r.sum, l.sqsum+r.sqsum
+		l.next = r.next
+		if r.next != nil {
+			r.next.prev = l
+		}
+		r.dead = true
+		l.version++
+		remaining--
+		if l.prev != nil {
+			l.prev.version++
+			push(cand{inc: pairInc(l.prev, l), left: l.prev, version: l.prev.version})
+		}
+		if l.next != nil {
+			push(cand{inc: pairInc(l, l.next), left: l, version: l.version})
+		}
+	}
+
+	out := make([]Segment, 0, remaining)
+	for n := head; n != nil; n = n.next {
+		out = append(out, Segment{
+			T: temporal.Interval{
+				Start: start + temporal.Chronon(n.lo),
+				End:   start + temporal.Chronon(n.hi-1),
+			},
+			Vals: []float64{n.sum / float64(n.hi-n.lo)},
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/temporal"
+)
+
+// ATC implements approximate temporal coalescing (Berberich, Bedathur,
+// Neumann & Weikum 2007): a single forward pass over a sorted sequential
+// relation that extends the current segment with the next adjacent tuple as
+// long as the segment's local error stays within the threshold, and starts a
+// new segment otherwise. Unlike PTA the decision uses local information
+// only, which is why its total error varies with the dataset (Section 2.1).
+//
+// The local error of a segment is the sum squared deviation of its
+// constituent tuples from the segment's length-weighted mean — the same
+// measure PTA charges for the corresponding merge. Groups and temporal gaps
+// always start a new segment, so ATC handles the paper's I- and T-queries.
+func ATC(seq *temporal.Sequence, threshold float64, weights []float64) (*temporal.Sequence, error) {
+	if threshold < 0 {
+		return nil, fmt.Errorf("approx: ATC threshold %v, want ≥ 0", threshold)
+	}
+	p := seq.P()
+	w2 := make([]float64, p)
+	for d := range w2 {
+		w2[d] = 1
+	}
+	if weights != nil {
+		if len(weights) != p {
+			return nil, fmt.Errorf("approx: %d weights for %d aggregate attributes", len(weights), p)
+		}
+		for d, w := range weights {
+			if !(w > 0) {
+				return nil, fmt.Errorf("approx: weight %d is %v, want > 0", d, w)
+			}
+			w2[d] = w * w
+		}
+	}
+
+	out := seq.WithRows(nil)
+	// Running statistics of the open segment.
+	var (
+		open   bool
+		group  int32
+		iv     temporal.Interval
+		length float64
+		sv     = make([]float64, p)
+		ssv    = make([]float64, p)
+	)
+	emit := func() {
+		aggs := make([]float64, p)
+		for d := 0; d < p; d++ {
+			aggs[d] = sv[d] / length
+		}
+		out.Rows = append(out.Rows, temporal.SeqRow{Group: group, Aggs: aggs, T: iv})
+	}
+	for _, row := range seq.Rows {
+		l := float64(row.T.Len())
+		if open && row.Group == group && iv.Meets(row.T) {
+			// Tentatively absorb the row; accept if the segment error stays
+			// within the threshold.
+			newLen := length + l
+			var candSSE float64
+			{
+				var e float64
+				for d := 0; d < p; d++ {
+					nsv := sv[d] + l*row.Aggs[d]
+					nssv := ssv[d] + l*row.Aggs[d]*row.Aggs[d]
+					e += w2[d] * (nssv - nsv*nsv/newLen)
+				}
+				candSSE = math.Max(e, 0)
+			}
+			if candSSE <= threshold {
+				for d := 0; d < p; d++ {
+					sv[d] += l * row.Aggs[d]
+					ssv[d] += l * row.Aggs[d] * row.Aggs[d]
+				}
+				length = newLen
+				iv.End = row.T.End
+				continue
+			}
+		}
+		if open {
+			emit()
+		}
+		open = true
+		group = row.Group
+		iv = row.T
+		length = l
+		for d := 0; d < p; d++ {
+			sv[d] = l * row.Aggs[d]
+			ssv[d] = l * row.Aggs[d] * row.Aggs[d]
+		}
+	}
+	if open {
+		emit()
+	}
+	return out, nil
+}
+
+// ATCThresholds builds the exponentially decaying threshold list the paper
+// sweeps to make ATC comparable with size-bounded algorithms: count values
+// from hi down to lo (hi > lo > 0), logarithmically spaced.
+func ATCThresholds(lo, hi float64, count int) ([]float64, error) {
+	if !(lo > 0) || !(hi > lo) || count < 2 {
+		return nil, fmt.Errorf("approx: invalid threshold sweep (lo=%v hi=%v count=%d)", lo, hi, count)
+	}
+	out := make([]float64, count)
+	ratio := math.Pow(hi/lo, 1/float64(count-1))
+	v := hi
+	for i := range out {
+		out[i] = v
+		v /= ratio
+	}
+	return out, nil
+}
+
+// ATCSweep runs ATC for every threshold and keeps, for every result size,
+// the result with the smallest total error against seq — the protocol of
+// Section 7.2.2. It returns a map from result size to (sequence, error).
+type ATCResult struct {
+	Sequence  *temporal.Sequence
+	Error     float64
+	Threshold float64
+}
+
+// ATCSweep evaluates the thresholds and retains the best result per size.
+func ATCSweep(seq *temporal.Sequence, thresholds []float64, weights []float64,
+	sseFn func(z *temporal.Sequence) (float64, error)) (map[int]ATCResult, error) {
+	out := make(map[int]ATCResult)
+	for _, th := range thresholds {
+		z, err := ATC(seq, th, weights)
+		if err != nil {
+			return nil, err
+		}
+		sse, err := sseFn(z)
+		if err != nil {
+			return nil, err
+		}
+		prev, seen := out[z.Len()]
+		if !seen || sse < prev.Error {
+			out[z.Len()] = ATCResult{Sequence: z, Error: sse, Threshold: th}
+		}
+	}
+	return out, nil
+}

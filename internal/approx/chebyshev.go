@@ -1,0 +1,76 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+)
+
+// The Chebyshev polynomial baseline (Cai & Ng 2004): the series, viewed as a
+// function on [−1, 1], is projected onto the first m Chebyshev polynomials
+// of the first kind using Gauss-Chebyshev quadrature; the restored signal is
+// a continuous curve (Fig. 2(d)). Cai & Ng minimize maximum deviation for
+// indexing; here the restored curve is compared to PTA under the paper's sum
+// squared error, as in Section 7.2.2.
+
+// ChebyshevFit computes m coefficients of the series vals.
+func ChebyshevFit(vals []float64, m int) ([]float64, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("approx: Chebyshev fit of an empty series")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("approx: Chebyshev coefficient count %d, want ≥ 1", m)
+	}
+	m = min(m, n)
+	// Quadrature nodes x_k = cos(π(k+1/2)/n); the series is sampled at the
+	// position nearest to each node (the step-function interpolant).
+	coefs := make([]float64, m)
+	for k := 0; k < n; k++ {
+		theta := math.Pi * (float64(k) + 0.5) / float64(n)
+		x := math.Cos(theta)
+		// Map x ∈ [−1,1] to a sample index 0..n−1.
+		pos := (x + 1) / 2 * float64(n-1)
+		f := vals[int(math.Round(pos))]
+		for j := 0; j < m; j++ {
+			coefs[j] += f * math.Cos(float64(j)*theta)
+		}
+	}
+	for j := range coefs {
+		coefs[j] *= 2 / float64(n)
+	}
+	return coefs, nil
+}
+
+// ChebyshevReconstruct evaluates the truncated Chebyshev series at every
+// sample position of a series of length n.
+func ChebyshevReconstruct(coefs []float64, n int) ([]float64, error) {
+	if len(coefs) == 0 {
+		return nil, fmt.Errorf("approx: no Chebyshev coefficients")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("approx: reconstruction length %d, want ≥ 1", n)
+	}
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		var x float64
+		if n > 1 {
+			x = 2*float64(t)/float64(n-1) - 1
+		}
+		// Clenshaw evaluation of Σ' c_j T_j(x) with the c_0/2 convention.
+		var b1, b2 float64
+		for j := len(coefs) - 1; j >= 1; j-- {
+			b1, b2 = 2*x*b1-b2+coefs[j], b1
+		}
+		out[t] = x*b1 - b2 + coefs[0]/2
+	}
+	return out, nil
+}
+
+// Chebyshev fits and reconstructs in one step.
+func Chebyshev(vals []float64, m int) ([]float64, error) {
+	coefs, err := ChebyshevFit(vals, m)
+	if err != nil {
+		return nil, err
+	}
+	return ChebyshevReconstruct(coefs, len(vals))
+}

@@ -1,0 +1,176 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The discrete wavelet transform baseline (Agrawal, Faloutsos & Swami 1993;
+// Stollnitz, DeRose & Salesin 1995) with orthonormal Haar wavelets:
+// neighbouring values are recursively averaged, and a step function is
+// restored from the c most influential coefficients. Because the transform
+// needs a power-of-two length, shorter inputs are zero padded — the paper
+// points out the resulting fluctuation at the right-hand side of Fig. 2(b).
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// HaarForward computes the orthonormal Haar wavelet transform of vals, whose
+// length must be a power of two. Index 0 carries the overall (scaled)
+// average; the remaining indices carry detail coefficients from coarsest to
+// finest, in Mallat order.
+func HaarForward(vals []float64) ([]float64, error) {
+	n := len(vals)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("approx: Haar transform needs a power-of-two length, got %d", n)
+	}
+	out := append([]float64(nil), vals...)
+	buf := make([]float64, n)
+	inv2 := 1 / math.Sqrt2
+	for length := n; length > 1; length >>= 1 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := out[2*i], out[2*i+1]
+			buf[i] = (a + b) * inv2
+			buf[half+i] = (a - b) * inv2
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out, nil
+}
+
+// HaarInverse undoes HaarForward.
+func HaarInverse(coefs []float64) ([]float64, error) {
+	n := len(coefs)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("approx: Haar inverse needs a power-of-two length, got %d", n)
+	}
+	out := append([]float64(nil), coefs...)
+	buf := make([]float64, n)
+	inv2 := 1 / math.Sqrt2
+	for length := 2; length <= n; length <<= 1 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			s, d := out[i], out[half+i]
+			buf[2*i] = (s + d) * inv2
+			buf[2*i+1] = (s - d) * inv2
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out, nil
+}
+
+// DWTTopK reconstructs vals from the k largest-magnitude Haar coefficients
+// (zero padding to a power of two, truncating the padding afterwards).
+// Because the basis is orthonormal, keeping the largest coefficients
+// minimizes the L2 reconstruction error for the padded signal.
+func DWTTopK(vals []float64, k int) ([]float64, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("approx: DWT of an empty series")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("approx: DWT coefficient count %d, want ≥ 1", k)
+	}
+	padded := make([]float64, NextPow2(n))
+	copy(padded, vals)
+	coefs, err := HaarForward(padded)
+	if err != nil {
+		return nil, err
+	}
+	if k < len(coefs) {
+		idx := make([]int, len(coefs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return math.Abs(coefs[idx[a]]) > math.Abs(coefs[idx[b]])
+		})
+		keep := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			keep[i] = true
+		}
+		for i := range coefs {
+			if !keep[i] {
+				coefs[i] = 0
+			}
+		}
+	}
+	rec, err := HaarInverse(coefs)
+	if err != nil {
+		return nil, err
+	}
+	return rec[:n], nil
+}
+
+// DWTWithSegments searches for a coefficient budget whose reconstruction has
+// exactly c plateaus and minimal error — the protocol the paper uses to make
+// DWT comparable to size-bounded PTA ("the signal restored from k
+// coefficients will contain from k to 3k intervals", Section 7.2.2). If no
+// budget yields exactly c plateaus, the reconstruction with the closest
+// plateau count (ties: smaller error) is returned.
+func DWTWithSegments(vals []float64, c int) (recon []float64, coefs int, err error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("approx: DWT of an empty series")
+	}
+	if c < 1 {
+		return nil, 0, fmt.Errorf("approx: DWT segment count %d, want ≥ 1", c)
+	}
+	// Transform and rank coefficients once; every candidate k then needs
+	// only an O(n) inverse transform. A reconstruction from k coefficients
+	// has between 1 and ~3k plateaus, so the scan window [1, 4c] suffices;
+	// if it somehow misses, the closest plateau count wins.
+	padded := make([]float64, NextPow2(n))
+	copy(padded, vals)
+	full, err := HaarForward(padded)
+	if err != nil {
+		return nil, 0, err
+	}
+	order := make([]int, len(full))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return math.Abs(full[order[a]]) > math.Abs(full[order[b]])
+	})
+
+	type cand struct {
+		rec     []float64
+		k       int
+		segDist int
+		sse     float64
+	}
+	var best *cand
+	maxK := min(len(full), 4*c+4)
+	trunc := make([]float64, len(full))
+	for k := 1; k <= maxK; k++ {
+		trunc[order[k-1]] = full[order[k-1]]
+		rec, err := HaarInverse(trunc)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec = rec[:n]
+		segs := CountPlateaus(rec)
+		dist := segs - c
+		if dist < 0 {
+			dist = -dist
+		}
+		var sse float64
+		for i, v := range vals {
+			d := v - rec[i]
+			sse += d * d
+		}
+		if best == nil || dist < best.segDist || (dist == best.segDist && sse < best.sse) {
+			best = &cand{rec: rec, k: k, segDist: dist, sse: sse}
+		}
+	}
+	return best.rec, best.k, nil
+}

@@ -1,0 +1,147 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// iSAX (Shieh & Keogh, KDD 2008) extends SAX with per-symbol cardinalities:
+// each symbol is a binary word whose length may differ between symbols, so a
+// word can be promoted to a finer resolution without re-reading the series.
+// The paper lists iSAX as the scalable variant of SAX whose PAA-inherited
+// limitations carry over (Section 2.2); it is provided to round out the
+// symbolic baseline.
+
+// ISAXSymbol is one segment's symbol: the breakpoint bin at the given
+// cardinality (a power of two).
+type ISAXSymbol struct {
+	// Bin is the index of the bin under Card equiprobable bins, counted
+	// from the lowest values.
+	Bin int
+	// Card is the cardinality (number of bins), a power of two ≥ 2.
+	Card int
+}
+
+// String renders the symbol as its binary word, e.g. "011" for bin 3 of
+// cardinality 8.
+func (s ISAXSymbol) String() string {
+	bits := 0
+	for c := s.Card; c > 1; c >>= 1 {
+		bits++
+	}
+	out := make([]byte, bits)
+	for i := bits - 1; i >= 0; i-- {
+		if s.Bin&(1<<uint(bits-1-i)) != 0 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// ISAXWord is an iSAX representation: one symbol per PAA segment, each at
+// its own cardinality.
+type ISAXWord struct {
+	Symbols []ISAXSymbol
+	// Mean and Std of the original series (z-normalization parameters).
+	Mean, Std float64
+	N         int
+}
+
+// String renders the word as binary symbols joined by dots, with the
+// cardinality as a suffix: "01.1.11" style words of the iSAX papers.
+func (w *ISAXWord) String() string {
+	parts := make([]string, len(w.Symbols))
+	for i, s := range w.Symbols {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// ISAX builds a word of c segments, all at the given cardinality.
+func ISAX(vals []float64, c, card int) (*ISAXWord, error) {
+	if card < 2 || card&(card-1) != 0 || card > 256 {
+		return nil, fmt.Errorf("approx: iSAX cardinality %d must be a power of two in 2..256", card)
+	}
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("approx: iSAX of an empty series")
+	}
+	if c < 1 || c > n {
+		return nil, fmt.Errorf("approx: iSAX word length %d outside 1..%d", c, n)
+	}
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, v := range vals {
+		variance += (v - mean) * (v - mean)
+	}
+	std := 1.0
+	if variance > 0 {
+		std = math.Sqrt(variance / float64(n))
+	}
+	segs, err := PAA(vals, c, 0)
+	if err != nil {
+		return nil, err
+	}
+	bps := saxBreakpoints(card)
+	word := &ISAXWord{Mean: mean, Std: std, N: n}
+	for _, sg := range segs {
+		z := (sg.Vals[0] - mean) / std
+		bin := 0
+		for bin < len(bps) && z > bps[bin] {
+			bin++
+		}
+		word.Symbols = append(word.Symbols, ISAXSymbol{Bin: bin, Card: card})
+	}
+	return word, nil
+}
+
+// Promote returns a copy of the word with the i-th symbol refined to twice
+// its cardinality using the original series — the iSAX indexing split step.
+func (w *ISAXWord) Promote(vals []float64, i int) (*ISAXWord, error) {
+	if i < 0 || i >= len(w.Symbols) {
+		return nil, fmt.Errorf("approx: symbol index %d outside 0..%d", i, len(w.Symbols)-1)
+	}
+	newCard := w.Symbols[i].Card * 2
+	if newCard > 256 {
+		return nil, fmt.Errorf("approx: cardinality limit reached at symbol %d", i)
+	}
+	c := len(w.Symbols)
+	lo := i * w.N / c
+	hi := (i + 1) * w.N / c
+	if hi <= lo {
+		hi = lo + 1
+	}
+	segMean := meanRange(vals, lo, hi)
+	z := (segMean - w.Mean) / w.Std
+	bps := saxBreakpoints(newCard)
+	bin := 0
+	for bin < len(bps) && z > bps[bin] {
+		bin++
+	}
+	out := &ISAXWord{Mean: w.Mean, Std: w.Std, N: w.N,
+		Symbols: append([]ISAXSymbol(nil), w.Symbols...)}
+	out.Symbols[i] = ISAXSymbol{Bin: bin, Card: newCard}
+	return out, nil
+}
+
+// Compatible reports whether two symbols can describe the same value: the
+// coarser symbol's bin must be the prefix of the finer one's. It is the
+// match test of iSAX index traversal.
+func (a ISAXSymbol) Compatible(b ISAXSymbol) bool {
+	if a.Card > b.Card {
+		a, b = b, a
+	}
+	// Reduce b to a's cardinality by dropping low bits.
+	shift := 0
+	for c := b.Card; c > a.Card; c >>= 1 {
+		shift++
+	}
+	return b.Bin>>uint(shift) == a.Bin
+}

@@ -1,0 +1,215 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/temporal"
+)
+
+// --- iSAX ---
+
+func TestISAXSymbolString(t *testing.T) {
+	for _, tc := range []struct {
+		sym  ISAXSymbol
+		want string
+	}{
+		{ISAXSymbol{Bin: 3, Card: 8}, "011"},
+		{ISAXSymbol{Bin: 0, Card: 2}, "0"},
+		{ISAXSymbol{Bin: 1, Card: 2}, "1"},
+		{ISAXSymbol{Bin: 7, Card: 8}, "111"},
+	} {
+		if got := tc.sym.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.sym, got, tc.want)
+		}
+	}
+}
+
+func TestISAXWordShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := randSeries(rng, 128)
+	word, err := ISAX(vals, 8, 4)
+	if err != nil {
+		t.Fatalf("ISAX: %v", err)
+	}
+	if len(word.Symbols) != 8 {
+		t.Fatalf("symbols = %d", len(word.Symbols))
+	}
+	for _, s := range word.Symbols {
+		if s.Card != 4 || s.Bin < 0 || s.Bin >= 4 {
+			t.Errorf("symbol %+v out of range", s)
+		}
+	}
+	if len(word.String()) == 0 {
+		t.Error("empty word rendering")
+	}
+}
+
+func TestISAXMatchesSAXBins(t *testing.T) {
+	// At the same cardinality the iSAX bins must agree with SAX letters.
+	rng := rand.New(rand.NewSource(3))
+	vals := randSeries(rng, 64)
+	sax, err := SAX(vals, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isax, err := ISAX(vals, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sax.Symbols {
+		if int(sax.Symbols[i]-'a') != isax.Symbols[i].Bin {
+			t.Errorf("segment %d: SAX bin %d vs iSAX bin %d", i, sax.Symbols[i]-'a', isax.Symbols[i].Bin)
+		}
+	}
+}
+
+func TestISAXPromoteCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := randSeries(rng, 64)
+	word, err := ISAX(vals, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted, err := word.Promote(vals, 1)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if promoted.Symbols[1].Card != 4 {
+		t.Errorf("promoted cardinality = %d, want 4", promoted.Symbols[1].Card)
+	}
+	// The refined symbol must stay compatible with the coarse one.
+	if !word.Symbols[1].Compatible(promoted.Symbols[1]) {
+		t.Errorf("promotion broke prefix compatibility: %v vs %v", word.Symbols[1], promoted.Symbols[1])
+	}
+	// The original word is unchanged.
+	if word.Symbols[1].Card != 2 {
+		t.Error("Promote mutated the receiver")
+	}
+}
+
+func TestISAXCompatiblePropPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cardA := 2 << uint(rng.Intn(3)) // 2, 4, 8
+		cardB := cardA << uint(rng.Intn(3))
+		binB := rng.Intn(cardB)
+		shift := 0
+		for c := cardB; c > cardA; c >>= 1 {
+			shift++
+		}
+		a := ISAXSymbol{Bin: binB >> uint(shift), Card: cardA}
+		b := ISAXSymbol{Bin: binB, Card: cardB}
+		if !a.Compatible(b) || !b.Compatible(a) {
+			return false
+		}
+		// A different coarse bin must be incompatible.
+		other := ISAXSymbol{Bin: (a.Bin + 1) % cardA, Card: cardA}
+		return !other.Compatible(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISAXValidation(t *testing.T) {
+	if _, err := ISAX(nil, 1, 4); err == nil {
+		t.Error("empty series should fail")
+	}
+	if _, err := ISAX([]float64{1, 2}, 1, 3); err == nil {
+		t.Error("non-power-of-two cardinality should fail")
+	}
+	if _, err := ISAX([]float64{1, 2}, 5, 4); err == nil {
+		t.Error("c > n should fail")
+	}
+	word, _ := ISAX([]float64{1, 2, 3, 4}, 2, 256)
+	if _, err := word.Promote([]float64{1, 2, 3, 4}, 0); err == nil {
+		t.Error("promoting past the cardinality limit should fail")
+	}
+	if _, err := word.Promote([]float64{1, 2, 3, 4}, 9); err == nil {
+		t.Error("out-of-range symbol index should fail")
+	}
+}
+
+// --- PLA ---
+
+func TestPLAExactLine(t *testing.T) {
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 3 + 0.5*float64(i)
+	}
+	segs, err := PLA(vals, 1e-9, 7)
+	if err != nil {
+		t.Fatalf("PLA: %v", err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("a straight line needs 1 segment, got %d", len(segs))
+	}
+	if segs[0].T != (temporal.Interval{Start: 7, End: 56}) {
+		t.Errorf("segment span = %v", segs[0].T)
+	}
+	if math.Abs(segs[0].Slope-0.5) > 1e-9 {
+		t.Errorf("slope = %v, want 0.5", segs[0].Slope)
+	}
+}
+
+func TestPLAPropInfinityNormGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randSeries(rng, 10+rng.Intn(100))
+		eps := 1 + rng.Float64()*20
+		segs, err := PLA(vals, eps, 0)
+		if err != nil {
+			return false
+		}
+		rec := PLAReconstruct(segs, len(vals), 0)
+		for i := range vals {
+			if math.Abs(vals[i]-rec[i]) > eps+1e-6 {
+				return false
+			}
+		}
+		// Segments must tile the domain.
+		var at temporal.Chronon
+		for _, s := range segs {
+			if s.T.Start != at {
+				return false
+			}
+			at = s.T.End + 1
+		}
+		return at == temporal.Chronon(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPLAPropLooserToleranceFewerSegments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randSeries(rng, 80)
+		tight, err1 := PLA(vals, 1, 0)
+		loose, err2 := PLA(vals, 50, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(loose) <= len(tight)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPLAValidation(t *testing.T) {
+	if _, err := PLA(nil, 1, 0); err == nil {
+		t.Error("empty series should fail")
+	}
+	if _, err := PLA([]float64{1}, -1, 0); err == nil {
+		t.Error("negative tolerance should fail")
+	}
+	segs, err := PLA([]float64{42}, 0, 5)
+	if err != nil || len(segs) != 1 || segs[0].At(5) != 42 {
+		t.Errorf("single point: %v, %v", segs, err)
+	}
+}

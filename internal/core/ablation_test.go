@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPruneModeString covers the mode names used in reports.
+func TestPruneModeString(t *testing.T) {
+	for m, want := range map[PruneMode]string{
+		PruneNone: "none", PruneIMax: "imax", PruneJMin: "jmin", PruneBoth: "imax+jmin",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+// TestPTAcAblationPropAllModesAgree: every pruning mode computes the same
+// optimal error and reduction, and work only shrinks as bounds are added.
+func TestPTAcAblationPropAllModesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := randomSequence(rng, 2+rng.Intn(25), 1+rng.Intn(2), 0.25)
+		cmin := seq.CMin()
+		c := cmin + rng.Intn(seq.Len()-cmin+1)
+		var ref *DPResult
+		var noneIters, bothIters int64
+		for _, m := range []PruneMode{PruneNone, PruneIMax, PruneJMin, PruneBoth} {
+			res, err := PTAcAblation(seq, c, Options{}, m)
+			if err != nil {
+				return false
+			}
+			if ref == nil {
+				ref = res
+				noneIters = res.Stats.InnerIters
+			} else {
+				if math.Abs(res.Error-ref.Error) > 1e-6*(1+ref.Error) {
+					return false
+				}
+				if !res.Sequence.Equal(ref.Sequence, 1e-6) {
+					return false
+				}
+			}
+			if m == PruneBoth {
+				bothIters = res.Stats.InnerIters
+			}
+		}
+		return bothIters <= noneIters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPTAcAblationGapFreeSameWork: without gaps the bounds are inert, so
+// every mode performs identical work.
+func TestPTAcAblationGapFreeSameWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seq := randomSequence(rng, 40, 1, 0)
+	var iters []int64
+	for _, m := range []PruneMode{PruneNone, PruneIMax, PruneJMin, PruneBoth} {
+		res, err := PTAcAblation(seq, 8, Options{}, m)
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		iters = append(iters, res.Stats.InnerIters)
+	}
+	for _, it := range iters[1:] {
+		if it != iters[0] {
+			t.Errorf("gap-free work differs across modes: %v", iters)
+		}
+	}
+}

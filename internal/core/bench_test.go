@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+func benchSequence(n, p int, gapProb float64) *temporal.Sequence {
+	rng := rand.New(rand.NewSource(99))
+	return randomSequence(rng, n, p, gapProb)
+}
+
+func BenchmarkPrefixBuild(b *testing.B) {
+	seq := benchSequence(10000, 4, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPrefix(seq, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSERange1D(b *testing.B) {
+	seq := benchSequence(10000, 1, 0)
+	px, err := NewPrefix(seq, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += px.SSERange(1+(i%5000), 5001+(i%5000))
+	}
+	_ = sink
+}
+
+func BenchmarkSSERange8D(b *testing.B) {
+	seq := benchSequence(10000, 8, 0)
+	px, err := NewPrefix(seq, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += px.SSERange(1+(i%5000), 5001+(i%5000))
+	}
+	_ = sink
+}
+
+func BenchmarkDissimilarity(b *testing.B) {
+	a := temporal.SeqRow{Aggs: []float64{10, 20, 30}, T: temporal.Interval{Start: 0, End: 9}}
+	c := temporal.SeqRow{Aggs: []float64{12, 18, 33}, T: temporal.Interval{Start: 10, End: 14}}
+	w2 := []float64{1, 1, 1}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dissimilarity(a, c, w2)
+	}
+	_ = sink
+}
+
+func BenchmarkMergeHeapChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const size = 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var h mergeHeap
+		nodes := make([]*node, size)
+		for j := range nodes {
+			nodes[j] = &node{id: j, key: rng.Float64()}
+			h.push(nodes[j])
+		}
+		for h.len() > 0 {
+			h.remove(h.peek())
+		}
+	}
+}
+
+func BenchmarkPTAcGapFree(b *testing.B) {
+	seq := benchSequence(2000, 1, 0)
+	c := 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PTAc(seq, c, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPTAcGapped(b *testing.B) {
+	seq := benchSequence(2000, 1, 0.2)
+	c := max(seq.CMin(), 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PTAc(seq, c, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGMS(b *testing.B) {
+	seq := benchSequence(20000, 1, 0.05)
+	c := max(seq.CMin(), 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GMS(seq, c, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPTAcDelta1(b *testing.B) {
+	seq := benchSequence(20000, 1, 0.05)
+	c := max(seq.CMin(), 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GPTAc(NewSliceStream(seq), c, 1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPTAeDelta1(b *testing.B) {
+	seq := benchSequence(20000, 1, 0.05)
+	est, err := ExactEstimate(seq, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GPTAe(NewSliceStream(seq), 0.3, 1, est, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSEBetween(b *testing.B) {
+	seq := benchSequence(20000, 2, 0.05)
+	res, err := GMS(seq, max(seq.CMin(), 1000), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SSEBetween(seq, res.Sequence, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/temporal"
+)
+
+// TestGMSBridgedCrossesGaps: with bridging, the running example's group A
+// can reach a single tuple per group (GroupCount = 2 < cmin = 3).
+func TestGMSBridgedCrossesGaps(t *testing.T) {
+	seq := figure1c()
+	if GroupCount(seq) != 2 {
+		t.Fatalf("GroupCount = %d, want 2", GroupCount(seq))
+	}
+	res, err := GMSBridged(seq, 2, Options{})
+	if err != nil {
+		t.Fatalf("GMSBridged: %v", err)
+	}
+	if res.C != 2 {
+		t.Fatalf("C = %d, want 2 (below the classic cmin 3)", res.C)
+	}
+	// Group B merges 500@[4,5] with 500@[7,8]: value stays 500, the span
+	// bridges the gap, and no error is charged for equal values.
+	var bRow *temporal.SeqRow
+	for i := range res.Sequence.Rows {
+		r := &res.Sequence.Rows[i]
+		if res.Sequence.Groups.Values(r.Group)[0].Text() == "B" {
+			bRow = r
+		}
+	}
+	if bRow == nil {
+		t.Fatal("no group-B row")
+	}
+	if bRow.Aggs[0] != 500 || bRow.T != (temporal.Interval{Start: 4, End: 8}) {
+		t.Errorf("bridged B row = %v %v, want 500 over [4, 8]", bRow.Aggs[0], bRow.T)
+	}
+}
+
+// TestGMSBridgedCoveredWeights: the bridged merge weights values by covered
+// chronons, not by the spanned interval. Two 1-chronon tuples (10 and 30)
+// separated by a 98-chronon gap must average to 20, not to a span-weighted
+// value.
+func TestGMSBridgedCoveredWeights(t *testing.T) {
+	seq := temporal.NewSequence(nil, []string{"v"})
+	gid := seq.Groups.Intern(nil)
+	seq.Rows = []temporal.SeqRow{
+		{Group: gid, Aggs: []float64{10}, T: temporal.Inst(0)},
+		{Group: gid, Aggs: []float64{30}, T: temporal.Inst(99)},
+	}
+	res, err := GMSBridged(seq, 1, Options{})
+	if err != nil {
+		t.Fatalf("GMSBridged: %v", err)
+	}
+	if res.C != 1 {
+		t.Fatalf("C = %d, want 1", res.C)
+	}
+	row := res.Sequence.Rows[0]
+	if row.Aggs[0] != 20 {
+		t.Errorf("bridged mean = %v, want 20", row.Aggs[0])
+	}
+	if row.T != (temporal.Interval{Start: 0, End: 99}) {
+		t.Errorf("bridged span = %v", row.T)
+	}
+	// Error: 1·(10−20)² + 1·(30−20)² = 200 — covered chronons only.
+	if math.Abs(res.Error-200) > 1e-9 {
+		t.Errorf("bridged error = %v, want 200", res.Error)
+	}
+}
+
+// TestGMSBridgedNeverCrossesGroups: group boundaries stay hard.
+func TestGMSBridgedNeverCrossesGroups(t *testing.T) {
+	seq := figure1c()
+	res, err := GMSBridged(seq, 1, Options{})
+	if err != nil {
+		t.Fatalf("GMSBridged: %v", err)
+	}
+	if res.C != 2 {
+		t.Errorf("C = %d; merging below the group count must be impossible", res.C)
+	}
+}
+
+// TestGMSBridgedPropMatchesGMSWithoutGaps: on gap-free single-group data
+// bridging changes nothing.
+func TestGMSBridgedPropMatchesGMSWithoutGaps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := randomSequence(rng, 2+rng.Intn(30), 1+rng.Intn(2), 0)
+		c := 1 + rng.Intn(seq.Len())
+		a, err1 := GMS(seq, c, Options{})
+		b, err2 := GMSBridged(seq, c, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Sequence.Equal(a.Sequence, 1e-9) &&
+			math.Abs(a.Error-b.Error) <= 1e-9*(1+a.Error)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGMSBridgedPropValid: results keep (group, time) order, cover at least
+// the original chronons, and can reach GroupCount.
+func TestGMSBridgedPropValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := randomSequence(rng, 2+rng.Intn(30), 1, 0.3)
+		res, err := GMSBridged(seq, 1, Options{})
+		if err != nil {
+			return false
+		}
+		if res.C != GroupCount(seq) {
+			return false
+		}
+		// Rows must still be disjoint and ordered within groups.
+		for i := 0; i+1 < res.Sequence.Len(); i++ {
+			a, b := res.Sequence.Rows[i], res.Sequence.Rows[i+1]
+			if a.Group == b.Group && a.T.End >= b.T.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomSampleEstimate: on data whose magnitude grows over time, random
+// sampling estimates SSEmax far better than a prefix sample.
+func TestRandomSampleEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	seq := temporal.NewSequence(nil, []string{"v"})
+	gid := seq.Groups.Intern(nil)
+	for i := 0; i < 4000; i++ {
+		// Exponential growth with noise: late rows dominate SSEmax.
+		v := math.Exp(float64(i)/800) * (1 + 0.2*rng.Float64())
+		seq.Rows = append(seq.Rows, temporal.SeqRow{
+			Group: gid, Aggs: []float64{v}, T: temporal.Inst(temporal.Chronon(i))})
+	}
+	px, err := NewPrefix(seq, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := px.MaxError()
+
+	prefix := seq.WithRows(seq.Rows[:400])
+	prefixEst, err := SampleEstimate(prefix, (seq.Len()+1)/2, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomEst, err := RandomSampleEstimate(seq, 0.1, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixErrRatio := math.Abs(prefixEst.EMax-truth) / truth
+	randomErrRatio := math.Abs(randomEst.EMax-truth) / truth
+	if randomErrRatio >= prefixErrRatio {
+		t.Errorf("random sampling (off by %.2f×truth) should beat prefix sampling (off by %.2f×truth)",
+			randomErrRatio, prefixErrRatio)
+	}
+	if randomErrRatio > 0.5 {
+		t.Errorf("random estimate off by %.2f× truth; want within 50%%", randomErrRatio)
+	}
+	if randomEst.N != seq.Len() {
+		t.Errorf("N = %d, want %d", randomEst.N, seq.Len())
+	}
+}
+
+func TestRandomSampleEstimateValidation(t *testing.T) {
+	seq := figure1c()
+	if _, err := RandomSampleEstimate(seq, 0, 1, Options{}); err == nil {
+		t.Error("fraction 0 should fail")
+	}
+	if _, err := RandomSampleEstimate(seq, 2, 1, Options{}); err == nil {
+		t.Error("fraction 2 should fail")
+	}
+	est, err := RandomSampleEstimate(seq, 1, 1, Options{})
+	if err != nil {
+		t.Fatalf("full-fraction sample: %v", err)
+	}
+	px, _ := NewPrefix(seq, Options{})
+	if math.Abs(est.EMax-px.MaxError()) > 1e-9*(1+px.MaxError()) {
+		t.Errorf("full sample estimate %v should equal SSEmax %v", est.EMax, px.MaxError())
+	}
+	empty := temporal.NewSequence(nil, []string{"v"})
+	if est, err := RandomSampleEstimate(empty, 0.5, 1, Options{}); err != nil || est.N != 0 {
+		t.Errorf("empty sequence: %v, %v", est, err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package core implements parsimonious temporal aggregation (PTA), the
+// contribution of the paper: reducing an instant-temporal-aggregation (ITA)
+// result by repeatedly merging adjacent tuples until a user-given size bound
+// c or error bound ε is met.
+//
+// The package provides
+//
+//   - the merge operator ⊕ and the sum-squared error measure (Defs. 3 and 5),
+//   - prefix matrices for O(p) error evaluation of any adjacent run (Prop. 1),
+//   - the exact dynamic-programming evaluators PTAc and PTAe (Sec. 5),
+//     including the unpruned DPBasic baseline of the experiments,
+//   - the greedy merging strategy GMS and the streaming greedy evaluators
+//     GPTAc and GPTAe with δ read-ahead (Sec. 6).
+//
+// Row indices handed to Prefix and the DP matrices are 1-based, matching the
+// paper's notation (s1 ... sn); slices of rows use ordinary 0-based Go
+// indexing.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the infinite error assigned to merges that would cross a temporal
+// gap or an aggregation-group boundary.
+var Inf = math.Inf(1)
+
+// DeltaInf disables the δ read-ahead heuristic of the greedy algorithms:
+// with δ = DeltaInf early merges happen only when Proposition 3/4 proves
+// them safe, and the result provably equals GMS (Theorems 2 and 3).
+const DeltaInf = math.MaxInt32
+
+// Options carries evaluation parameters shared by all PTA algorithms.
+type Options struct {
+	// Weights holds one positive weight per aggregate attribute (w_d of
+	// Definition 5). nil means all weights are 1.
+	Weights []float64
+}
+
+// weightsSquared resolves the per-dimension squared weights for p aggregate
+// attributes.
+func (o Options) weightsSquared(p int) ([]float64, error) {
+	w2 := make([]float64, p)
+	if o.Weights == nil {
+		for d := range w2 {
+			w2[d] = 1
+		}
+		return w2, nil
+	}
+	if len(o.Weights) != p {
+		return nil, fmt.Errorf("core: %d weights for %d aggregate attributes", len(o.Weights), p)
+	}
+	for d, w := range o.Weights {
+		if !(w > 0) {
+			return nil, fmt.Errorf("core: weight %d is %v, want > 0", d, w)
+		}
+		w2[d] = w * w
+	}
+	return w2, nil
+}

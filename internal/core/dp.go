@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// DPStats counts the work the dynamic program performed; the experiments use
+// it alongside wall-clock time to show the effect of the Section 5.3
+// pruning.
+type DPStats struct {
+	// Cells is the number of matrix cells (k, i) evaluated.
+	Cells int64
+	// InnerIters is the number of split points j tried across all cells.
+	InnerIters int64
+}
+
+// DPResult is the outcome of an exact PTA evaluation.
+type DPResult struct {
+	// Sequence is the reduced sequential relation z.
+	Sequence *temporal.Sequence
+	// C is the size of the result (the c actually reached).
+	C int
+	// Error is SSE(s, z), the total introduced error E[C][n].
+	Error float64
+	// Stats describes the work performed.
+	Stats DPStats
+}
+
+// dpState fills the error matrix E and split-point matrix J row by row
+// (k = 1, 2, ...). Only the previous and current E rows are kept; J rows are
+// appended as needed for reconstruction. All row indices are 1-based.
+//
+// The two Section 5.3 bounds can be toggled independently (the ablation
+// experiment exercises each in isolation): pruneI skips columns beyond the
+// k-th gap (imax), pruneJ lower-bounds the split point at the rightmost gap
+// (jmin).
+type dpState struct {
+	px             *Prefix
+	n              int
+	pruneI, pruneJ bool
+	storeSplits    bool
+	prevE, curE    []float64
+	splits         [][]int32 // splits[k-1][i] = J[k][i]
+	stats          DPStats
+}
+
+func newDPState(px *Prefix, pruned, storeSplits bool) *dpState {
+	return &dpState{
+		px:          px,
+		n:           px.N(),
+		pruneI:      pruned,
+		pruneJ:      pruned,
+		storeSplits: storeSplits,
+		prevE:       make([]float64, px.N()+1),
+		curE:        make([]float64, px.N()+1),
+	}
+}
+
+// fillRow computes row k of the matrices and returns E[k][n].
+func (st *dpState) fillRow(k int) float64 {
+	px, n := st.px, st.n
+	st.prevE, st.curE = st.curE, st.prevE
+	for i := range st.curE {
+		st.curE[i] = Inf
+	}
+	var jrow []int32
+	if st.storeSplits {
+		jrow = make([]int32, n+1)
+	}
+
+	// The inner loop dominates the DP; specialize the one-dimensional case
+	// (most of the paper's queries) to direct slice arithmetic.
+	p1 := px.p == 1
+	var s0, ss0 []float64
+	var w20 float64
+	if p1 {
+		s0, ss0, w20 = px.s[0], px.ss[0], px.w2[0]
+	}
+	lpx := px.l
+	sseRange := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		if p1 {
+			length := float64(lpx[b] - lpx[a-1])
+			sv := s0[b] - s0[a-1]
+			e := w20 * (ss0[b] - ss0[a-1] - sv*sv/length)
+			if e < 0 {
+				return 0
+			}
+			return e
+		}
+		return px.SSERange(a, b)
+	}
+
+	// Upper bound for i: past the k-th gap every E[k][i] is infinite.
+	imax := n
+	if st.pruneI && k <= len(px.gaps) {
+		imax = px.gaps[k-1]
+	}
+
+	for i := k; i <= imax; i++ {
+		st.stats.Cells++
+		if k == 1 {
+			// First row: merge the whole prefix (infinite across gaps).
+			st.curE[i] = px.SSEMergeAll(1, i)
+			continue
+		}
+
+		// Lower bound for j: merging the tail s_{j+1}..s_i across the
+		// rightmost gap before i is infinite.
+		jmin := k - 1
+		var rightGap int
+		if st.pruneJ {
+			rightGap = px.RightmostGapBefore(i)
+			jmin = max(jmin, rightGap)
+		}
+
+		if st.pruneJ && k-2 < len(px.gaps) && k >= 2 && rightGap != 0 && px.gaps[k-2] == jmin {
+			// The prefix s_i contains exactly k−1 gaps: the only feasible
+			// split point is the rightmost gap itself (Section 5.3).
+			st.stats.InnerIters++
+			st.curE[i] = st.prevE[jmin] + sseRange(jmin+1, i)
+			if jrow != nil {
+				jrow[i] = int32(jmin)
+			}
+			continue
+		}
+
+		best := Inf
+		bestJ := int32(0)
+		inner := int64(0)
+		for j := i - 1; j >= jmin; j-- {
+			inner++
+			err1 := st.prevE[j]
+			var err2 float64
+			if st.pruneJ {
+				err2 = sseRange(j+1, i) // gap free by construction of jmin
+			} else {
+				err2 = px.SSEMergeAll(j+1, i)
+			}
+			if err1+err2 < best {
+				best = err1 + err2
+				bestJ = int32(j)
+			}
+			// err2 grows as j decreases; once it alone exceeds the best
+			// total, no smaller j can win (Jagadish et al.).
+			if err2 > best {
+				break
+			}
+		}
+		st.stats.InnerIters += inner
+		st.curE[i] = best
+		if jrow != nil {
+			jrow[i] = bestJ
+		}
+	}
+
+	if st.storeSplits {
+		st.splits = append(st.splits, jrow)
+	}
+	return st.curE[n]
+}
+
+// reconstruct follows the split-point matrix from cell (c, n) and builds the
+// reduced relation (Example 11).
+func (st *dpState) reconstruct(c int) []temporal.SeqRow {
+	rows := make([]temporal.SeqRow, c)
+	n := st.n
+	for k := c; k >= 1; k-- {
+		j := int(st.splits[k-1][n])
+		rows[k-1] = st.px.MergeRange(j+1, n)
+		n = j
+	}
+	return rows
+}
+
+// PruneMode selects which of the two Section 5.3 search-space bounds the
+// dynamic program applies. PTAc uses PruneBoth; DPBasic uses PruneNone; the
+// other modes exist for the ablation experiment.
+type PruneMode uint8
+
+const (
+	// PruneNone disables both bounds (the basic DP scheme of Section 5.1).
+	PruneNone PruneMode = iota
+	// PruneIMax only skips matrix columns beyond the k-th gap.
+	PruneIMax
+	// PruneJMin only lower-bounds split points at the rightmost gap.
+	PruneJMin
+	// PruneBoth applies both bounds (the full PTAc algorithm).
+	PruneBoth
+)
+
+// String names the mode for reports.
+func (m PruneMode) String() string {
+	switch m {
+	case PruneNone:
+		return "none"
+	case PruneIMax:
+		return "imax"
+	case PruneJMin:
+		return "jmin"
+	case PruneBoth:
+		return "imax+jmin"
+	}
+	return fmt.Sprintf("prune(%d)", uint8(m))
+}
+
+// PTAcAblation evaluates size-bounded PTA with an explicit pruning mode. All
+// modes return the same optimal reduction; they differ only in the work
+// counted by Stats and in runtime.
+func PTAcAblation(seq *temporal.Sequence, c int, opts Options, mode PruneMode) (*DPResult, error) {
+	return runSizeBoundedMode(seq, c, opts, mode == PruneIMax || mode == PruneBoth,
+		mode == PruneJMin || mode == PruneBoth)
+}
+
+// runSizeBounded drives the DP for a size bound c with or without pruning.
+func runSizeBounded(seq *temporal.Sequence, c int, opts Options, pruned bool) (*DPResult, error) {
+	return runSizeBoundedMode(seq, c, opts, pruned, pruned)
+}
+
+func runSizeBoundedMode(seq *temporal.Sequence, c int, opts Options, pruneI, pruneJ bool) (*DPResult, error) {
+	n := seq.Len()
+	if n == 0 {
+		if c != 0 {
+			return nil, fmt.Errorf("core: size bound %d for an empty relation", c)
+		}
+		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
+	}
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cmin := px.CMin(); c < cmin {
+		return nil, fmt.Errorf("core: size bound %d below cmin %d", c, cmin)
+	}
+	if c >= n {
+		// ρ(s, c) = s when |s| ≤ c: nothing to merge.
+		out := seq.Clone()
+		return &DPResult{Sequence: out, C: n}, nil
+	}
+	st := newDPState(px, true, true)
+	st.pruneI, st.pruneJ = pruneI, pruneJ
+	var finalErr float64
+	for k := 1; k <= c; k++ {
+		finalErr = st.fillRow(k)
+	}
+	rows := st.reconstruct(c)
+	return &DPResult{
+		Sequence: seq.WithRows(rows),
+		C:        c,
+		Error:    finalErr,
+		Stats:    st.stats,
+	}, nil
+}
+
+// PTAc evaluates size-bounded PTA exactly (Definition 6, algorithm of
+// Fig. 7): it reduces the sequential relation seq to c tuples with the
+// minimal possible sum-squared error. It requires cmin ≤ c; when c ≥ n the
+// input is returned unchanged. Worst-case complexity is O(n²·c·p) time and
+// O(n·c) space; with temporal gaps and aggregation groups the Section 5.3
+// bounds prune most cells.
+func PTAc(seq *temporal.Sequence, c int, opts Options) (*DPResult, error) {
+	return runSizeBounded(seq, c, opts, true)
+}
+
+// DPBasic evaluates size-bounded PTA with the basic dynamic-programming
+// scheme of Section 5.1: constant-time error evaluation but no gap/group
+// pruning. It returns the same result as PTAc and exists as the baseline of
+// the performance experiments (Figs. 18 and 19).
+func DPBasic(seq *temporal.Sequence, c int, opts Options) (*DPResult, error) {
+	return runSizeBounded(seq, c, opts, false)
+}
+
+// PTAe evaluates error-bounded PTA exactly (Definition 7, algorithm of
+// Fig. 8): it finds the smallest c such that reducing seq to c tuples
+// introduces at most eps·SSEmax error, 0 ≤ eps ≤ 1, and returns that optimal
+// reduction.
+func PTAe(seq *temporal.Sequence, eps float64, opts Options) (*DPResult, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("core: error bound %v outside [0, 1]", eps)
+	}
+	n := seq.Len()
+	if n == 0 {
+		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
+	}
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, err
+	}
+	bound := eps * px.MaxError()
+	st := newDPState(px, true, true)
+	for k := 1; k <= n; k++ {
+		e := st.fillRow(k)
+		if e <= bound {
+			rows := st.reconstruct(k)
+			return &DPResult{
+				Sequence: seq.WithRows(rows),
+				C:        k,
+				Error:    e,
+				Stats:    st.stats,
+			}, nil
+		}
+	}
+	// E[n][n] = 0 ≤ bound always triggers; reaching this point means the
+	// matrix filling is broken.
+	panic("core: error-bounded DP did not terminate")
+}
+
+// Matrices runs the pruned DP for k = 1..c and returns copies of the error
+// matrix rows E[k] and split-point rows J[k]. Row k lives at index k−1 and
+// column i is 1-based (index 0 is unused), matching the paper's Figs. 4-5.
+// It exists for inspection and the fig4fig5 experiment; PTAc is the
+// production entry point.
+func Matrices(seq *temporal.Sequence, c int, opts Options) ([][]float64, [][]int32, error) {
+	n := seq.Len()
+	if c < 1 || c > n {
+		return nil, nil, fmt.Errorf("core: matrix row count %d outside 1..%d", c, n)
+	}
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := newDPState(px, true, true)
+	em := make([][]float64, c)
+	for k := 1; k <= c; k++ {
+		st.fillRow(k)
+		em[k-1] = append([]float64(nil), st.curE...)
+	}
+	return em, st.splits, nil
+}
+
+// ErrorCurve returns the minimal error of reducing seq to k tuples for every
+// k = 1..kmax (Inf where k < cmin makes the reduction infeasible). It fills
+// the same DP matrix as PTAc but stores no split points, so it costs one
+// size-bounded run with c = kmax. The experiments use it to draw the
+// error-versus-reduction curves of Fig. 14.
+func ErrorCurve(seq *temporal.Sequence, kmax int, opts Options) ([]float64, error) {
+	n := seq.Len()
+	if kmax < 1 || kmax > n {
+		return nil, fmt.Errorf("core: kmax %d outside 1..%d", kmax, n)
+	}
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := newDPState(px, true, false)
+	curve := make([]float64, kmax)
+	for k := 1; k <= kmax; k++ {
+		curve[k-1] = st.fillRow(k)
+	}
+	return curve, nil
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ita"
+)
+
+// runningExample computes the ITA result of the paper's proj relation.
+func runningExample() (*ita.Iterator, error) {
+	return ita.NewIterator(dataset.Proj(), ita.Query{
+		GroupBy: []string{"Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}},
+	})
+}
+
+// ExamplePTAc reduces the running example to the best four tuples
+// (Fig. 1(d) of the paper).
+func ExamplePTAc() {
+	seq, err := ita.Eval(dataset.Proj(), ita.Query{
+		GroupBy: []string{"Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.PTAc(seq, 4, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reduced %d -> %d tuples, error %.2f\n", seq.Len(), res.C, res.Error)
+	fmt.Print(res.Sequence)
+	// Output:
+	// reduced 7 -> 4 tuples, error 49166.67
+	// A | 733.3 | [1, 3]
+	// A | 375 | [4, 7]
+	// B | 500 | [4, 5]
+	// B | 500 | [7, 8]
+}
+
+// ExamplePTAe asks for the smallest result within 20% of the maximal
+// merging error.
+func ExamplePTAe() {
+	seq, err := ita.Eval(dataset.Proj(), ita.Query{
+		GroupBy: []string{"Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.PTAe(seq, 0.2, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("smallest size within the bound: %d tuples\n", res.C)
+	// Output:
+	// smallest size within the bound: 4 tuples
+}
+
+// ExampleGPTAc streams ITA rows straight into the greedy reducer — merging
+// happens while aggregation is still running.
+func ExampleGPTAc() {
+	it, err := runningExample()
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.GPTAc(it, 3, 1, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("result %d tuples, max heap %d\n", res.C, res.MaxHeap)
+	// Output:
+	// result 3 tuples, max heap 5
+}
+
+// ExampleGMS shows the plain greedy merging strategy and its error ratio
+// against the exact optimum (Example 17 of the paper).
+func ExampleGMS() {
+	seq, err := ita.Eval(dataset.Proj(), ita.Query{
+		GroupBy: []string{"Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	greedy, err := core.GMS(seq, 4, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	exact, err := core.PTAc(seq, 4, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("greedy %.0f vs optimal %.2f (ratio %.2f)\n",
+		greedy.Error, exact.Error, greedy.Error/exact.Error)
+	// Output:
+	// greedy 63000 vs optimal 49166.67 (ratio 1.28)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatricesShapeAndValues(t *testing.T) {
+	seq := figure1c()
+	em, jm, err := Matrices(seq, 4, Options{})
+	if err != nil {
+		t.Fatalf("Matrices: %v", err)
+	}
+	if len(em) != 4 || len(jm) != 4 {
+		t.Fatalf("got %d/%d rows, want 4/4", len(em), len(jm))
+	}
+	for k := range em {
+		if len(em[k]) != 8 || len(jm[k]) != 8 {
+			t.Fatalf("row %d width %d/%d, want 8 (1-based columns)", k, len(em[k]), len(jm[k]))
+		}
+	}
+	// Spot checks against Fig. 4 / Fig. 5.
+	if math.Abs(em[3][7]-49166.67) > 1 {
+		t.Errorf("E[4][7] = %v", em[3][7])
+	}
+	if jm[3][7] != 6 {
+		t.Errorf("J[4][7] = %d", jm[3][7])
+	}
+	if !math.IsInf(em[1][7], 1) {
+		t.Errorf("E[2][7] should be Inf, got %v", em[1][7])
+	}
+}
+
+func TestMatricesValidation(t *testing.T) {
+	seq := figure1c()
+	if _, _, err := Matrices(seq, 0, Options{}); err == nil {
+		t.Error("c = 0 should fail")
+	}
+	if _, _, err := Matrices(seq, 99, Options{}); err == nil {
+		t.Error("c > n should fail")
+	}
+}
+
+func TestNodeLessTieBreaks(t *testing.T) {
+	a := &node{id: 1, key: 5}
+	b := &node{id: 2, key: 5}
+	a.row.T.Start = 10
+	b.row.T.Start = 10
+	if !nodeLess(a, b) || nodeLess(b, a) {
+		t.Error("equal key and start must fall back to id")
+	}
+	b.row.T.Start = 3
+	if nodeLess(a, b) {
+		t.Error("smaller timestamp must win at equal keys")
+	}
+	b.key = 4
+	if nodeLess(a, b) {
+		t.Error("smaller key must always win")
+	}
+}
+
+func TestPrefixValidateBoundsPanics(t *testing.T) {
+	px, _ := NewPrefix(figure1c(), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("MergeRange with inverted bounds should panic")
+		}
+	}()
+	px.MergeRange(5, 2)
+}
+
+func TestPrefixSSEMergeAllAcrossGroups(t *testing.T) {
+	px, _ := NewPrefix(figure1c(), Options{})
+	if !math.IsInf(px.SSEMergeAll(5, 6), 1) {
+		t.Error("merging across the group boundary must cost Inf")
+	}
+	if !math.IsInf(px.SSEMergeAll(1, 7), 1) {
+		t.Error("merging everything must cost Inf")
+	}
+	if math.IsInf(px.SSEMergeAll(1, 5), 1) {
+		t.Error("merging the group-A run must be finite")
+	}
+}
+
+func TestGreedyResultReadAhead(t *testing.T) {
+	seq := figure1c()
+	res, err := GPTAc(NewSliceStream(seq), 3, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadAhead != res.MaxHeap-res.C {
+		t.Errorf("ReadAhead = %d, want MaxHeap−C = %d", res.ReadAhead, res.MaxHeap-res.C)
+	}
+}
+
+// TestErrorCurveBounds covers ErrorCurve argument validation.
+func TestErrorCurveBounds(t *testing.T) {
+	seq := figure1c()
+	if _, err := ErrorCurve(seq, 0, Options{}); err == nil {
+		t.Error("kmax = 0 should fail")
+	}
+	if _, err := ErrorCurve(seq, 8, Options{}); err == nil {
+		t.Error("kmax > n should fail")
+	}
+	curve, err := ErrorCurve(seq, 7, Options{})
+	if err != nil || len(curve) != 7 {
+		t.Fatalf("full curve: %v, %v", curve, err)
+	}
+	// Fig. 4 diagonal: E[3][7] = 269285, E[4][7] = 49166.
+	if math.Abs(curve[2]-269285.7) > 1 || math.Abs(curve[3]-49166.67) > 1 {
+		t.Errorf("curve = %v", curve)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/temporal"
+)
+
+// This file implements a divide-and-conquer evaluation of size-bounded PTA
+// that makes the structure behind the paper's Section 5.3 pruning explicit:
+// non-adjacent tuple pairs split the relation into maximal adjacent runs
+// that never interact, so
+//
+//  1. each run's optimal error curve can be computed independently (and
+//     concurrently — one goroutine per run, bounded by GOMAXPROCS), and
+//  2. the global optimum is an allocation of the size budget c over the
+//     runs, found by a small dynamic program over run curves:
+//
+//     A[r][k] = min over j of A[r−1][k−j] + curve_r[j].
+//
+// The result provably equals PTAc (property-tested); with many short runs
+// it does asymptotically less work — per-run curves cost Σ O(q_r²·min(q_r,c))
+// versus the monolithic scheme's larger search space — and it uses every
+// core. The paper's evaluation is single-threaded; this is an engineering
+// extension, reported by the `parallel` experiment.
+
+// runCurve is one maximal adjacent run with its reduction error curve and
+// the split matrices needed to reconstruct any reduction size.
+type runCurve struct {
+	lo, hi int // 1-based row bounds of the run, inclusive
+	curve  []float64
+	splits [][]int32
+}
+
+// PTAcParallel evaluates size-bounded PTA exactly, decomposing the work
+// over maximal adjacent runs and computing run curves on workers goroutines
+// (0 = GOMAXPROCS). It returns the same optimal reduction as PTAc.
+func PTAcParallel(seq *temporal.Sequence, c int, opts Options, workers int) (*DPResult, error) {
+	n := seq.Len()
+	if n == 0 {
+		if c != 0 {
+			return nil, fmt.Errorf("core: size bound %d for an empty relation", c)
+		}
+		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
+	}
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, err
+	}
+	cmin := px.CMin()
+	if c < cmin {
+		return nil, fmt.Errorf("core: size bound %d below cmin %d", c, cmin)
+	}
+	if c >= n {
+		return &DPResult{Sequence: seq.Clone(), C: n}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Cut the relation into maximal adjacent runs.
+	var runs []*runCurve
+	lo := 1
+	for _, g := range px.gaps {
+		runs = append(runs, &runCurve{lo: lo, hi: g})
+		lo = g + 1
+	}
+	runs = append(runs, &runCurve{lo: lo, hi: n})
+
+	// Compute each run's error curve up to min(len, c) concurrently.
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, len(runs))
+	for i, rc := range runs {
+		wg.Add(1)
+		go func(i int, rc *runCurve) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = rc.compute(seq, c, opts)
+		}(i, rc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Allocate the budget over runs: A[k] after r runs = minimal error of
+	// spending k tuples on the first r runs (every run needs ≥ 1).
+	const unset = -1
+	prev := make([]float64, c+1)
+	cur := make([]float64, c+1)
+	choice := make([][]int32, len(runs)) // choice[r][k] = tuples given to run r
+	for k := range prev {
+		prev[k] = Inf
+	}
+	prev[0] = 0
+	minNeeded := 0
+	for r, rc := range runs {
+		choice[r] = make([]int32, c+1)
+		for k := range cur {
+			cur[k] = Inf
+			choice[r][k] = unset
+		}
+		maxLen := len(rc.curve)
+		minNeeded++ // every run contributes ≥ 1 tuple
+		for k := minNeeded; k <= c; k++ {
+			for j := 1; j <= maxLen && j < k+1; j++ {
+				if prev[k-j] == Inf {
+					continue
+				}
+				if e := prev[k-j] + rc.curve[j-1]; e < cur[k] {
+					cur[k] = e
+					choice[r][k] = int32(j)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[c]
+
+	// Reconstruct: walk choices backwards, then each run's own splits.
+	alloc := make([]int, len(runs))
+	k := c
+	for r := len(runs) - 1; r >= 0; r-- {
+		j := int(choice[r][k])
+		if j == unset {
+			return nil, fmt.Errorf("core: internal error reconstructing parallel DP at run %d", r)
+		}
+		alloc[r] = j
+		k -= j
+	}
+	var rows []temporal.SeqRow
+	for r, rc := range runs {
+		rows = append(rows, rc.reconstruct(px, alloc[r])...)
+	}
+	return &DPResult{
+		Sequence: seq.WithRows(rows),
+		C:        c,
+		Error:    total,
+	}, nil
+}
+
+// compute fills the run's curve and split matrices for sizes 1..min(len, c)
+// using the gap-free DP restricted to the run.
+func (rc *runCurve) compute(seq *temporal.Sequence, c int, opts Options) error {
+	sub := seq.WithRows(seq.Rows[rc.lo-1 : rc.hi])
+	px, err := NewPrefix(sub, opts)
+	if err != nil {
+		return err
+	}
+	q := rc.hi - rc.lo + 1
+	kmax := min(q, c)
+	st := newDPState(px, true, true)
+	rc.curve = make([]float64, kmax)
+	for k := 1; k <= kmax; k++ {
+		rc.curve[k-1] = st.fillRow(k)
+	}
+	rc.splits = st.splits
+	return nil
+}
+
+// reconstruct expands the run's optimal reduction to size k into rows,
+// using the global prefix for the merges (indices shifted to run space).
+func (rc *runCurve) reconstruct(px *Prefix, k int) []temporal.SeqRow {
+	rows := make([]temporal.SeqRow, k)
+	hi := rc.hi - rc.lo + 1 // run-local 1-based end
+	for kk := k; kk >= 1; kk-- {
+		j := int(rc.splits[kk-1][hi])
+		rows[kk-1] = px.MergeRange(rc.lo+j, rc.lo+hi-1)
+		hi = j
+	}
+	return rows
+}

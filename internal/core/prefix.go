@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/temporal"
+)
+
+// Prefix holds the auxiliary structures of Section 5.2 for a sequential
+// relation s of size n with p aggregate attributes:
+//
+//	S[d][i]  = Σ_{j≤i} |s_j.T| · s_j.B_d        (length-weighted value sums)
+//	SS[d][i] = Σ_{j≤i} |s_j.T| · s_j.B_d²       (length-weighted square sums)
+//	L[i]     = Σ_{j≤i} |s_j.T|                   (timestamp lengths)
+//	G        = positions of non-adjacent tuple pairs (the gap vector)
+//
+// With them the error of merging any gap-free run s_i..s_j into one tuple is
+// computed in O(p) time (Proposition 1). Building a Prefix costs O(np) time
+// and space; in the paper this work is folded into the ITA scan.
+type Prefix struct {
+	seq  *temporal.Sequence
+	n, p int
+	w2   []float64
+	s    [][]float64 // [p][n+1], index 0 is the empty prefix
+	ss   [][]float64
+	l    []int64
+	gaps []int // 1-based positions l with s_l ⊀ s_{l+1}, ascending
+}
+
+// NewPrefix validates the sequence and the options and builds the prefix
+// structures.
+func NewPrefix(seq *temporal.Sequence, opts Options) (*Prefix, error) {
+	w2, err := opts.weightsSquared(seq.P())
+	if err != nil {
+		return nil, err
+	}
+	n, p := seq.Len(), seq.P()
+	px := &Prefix{
+		seq:  seq,
+		n:    n,
+		p:    p,
+		w2:   w2,
+		s:    make([][]float64, p),
+		ss:   make([][]float64, p),
+		l:    make([]int64, n+1),
+		gaps: seq.GapPositions(),
+	}
+	for d := 0; d < p; d++ {
+		px.s[d] = make([]float64, n+1)
+		px.ss[d] = make([]float64, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		row := seq.Rows[i-1]
+		length := float64(row.T.Len())
+		px.l[i] = px.l[i-1] + row.T.Len()
+		for d := 0; d < p; d++ {
+			v := row.Aggs[d]
+			px.s[d][i] = px.s[d][i-1] + length*v
+			px.ss[d][i] = px.ss[d][i-1] + length*v*v
+		}
+	}
+	return px, nil
+}
+
+// N returns the sequence size n.
+func (px *Prefix) N() int { return px.n }
+
+// P returns the number of aggregate attributes p.
+func (px *Prefix) P() int { return px.p }
+
+// Sequence returns the underlying sequential relation.
+func (px *Prefix) Sequence() *temporal.Sequence { return px.seq }
+
+// Gaps returns the gap vector G: the ascending 1-based positions l at which
+// rows l and l+1 are non-adjacent.
+func (px *Prefix) Gaps() []int { return px.gaps }
+
+// CMin returns the smallest reachable reduction size (number of maximal
+// adjacent runs).
+func (px *Prefix) CMin() int {
+	if px.n == 0 {
+		return 0
+	}
+	return len(px.gaps) + 1
+}
+
+// SSERange returns the error of merging the (assumed gap-free) run
+// s_i..s_j into one tuple, per Proposition 1. Indices are 1-based and
+// inclusive, 1 ≤ i ≤ j ≤ n.
+func (px *Prefix) SSERange(i, j int) float64 {
+	if i == j {
+		return 0 // a single tuple merges into itself without error
+	}
+	length := float64(px.l[j] - px.l[i-1])
+	var sse float64
+	for d := 0; d < px.p; d++ {
+		sv := px.s[d][j] - px.s[d][i-1]
+		sse += px.w2[d] * (px.ss[d][j] - px.ss[d][i-1] - sv*sv/length)
+	}
+	// Guard against tiny negative residues from cancellation.
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}
+
+// HasGap reports whether the run s_i..s_j (1-based, inclusive) contains at
+// least one non-adjacent pair.
+func (px *Prefix) HasGap(i, j int) bool {
+	if i >= j {
+		return false
+	}
+	// The run has a gap iff some gap position l satisfies i ≤ l < j.
+	k := sort.SearchInts(px.gaps, i)
+	return k < len(px.gaps) && px.gaps[k] < j
+}
+
+// RightmostGapBefore returns the largest gap position strictly smaller than
+// i, or 0 when there is none. It is the j_min bound of Section 5.3.
+func (px *Prefix) RightmostGapBefore(i int) int {
+	k := sort.SearchInts(px.gaps, i)
+	if k == 0 {
+		return 0
+	}
+	return px.gaps[k-1]
+}
+
+// SSEMergeAll returns the error of merging s_i..s_j into one tuple, or Inf
+// when the run crosses a gap or group boundary.
+func (px *Prefix) SSEMergeAll(i, j int) float64 {
+	if px.HasGap(i, j) {
+		return Inf
+	}
+	return px.SSERange(i, j)
+}
+
+// MaxError returns SSEmax = SSE(s, ρ(s, cmin)): the error of the maximal
+// reduction that merges every maximal adjacent run into a single tuple.
+func (px *Prefix) MaxError() float64 {
+	if px.n == 0 {
+		return 0
+	}
+	var total float64
+	start := 1
+	for _, g := range px.gaps {
+		total += px.SSERange(start, g)
+		start = g + 1
+	}
+	total += px.SSERange(start, px.n)
+	return total
+}
+
+// MergeRange builds the tuple s_i ⊕ ... ⊕ s_j (1-based, inclusive): the
+// grouping values of s_i, the concatenated timestamp, and length-weighted
+// average aggregate values (Definition 3 applied associatively).
+func (px *Prefix) MergeRange(i, j int) temporal.SeqRow {
+	px.validateBounds(i, j)
+	first, last := px.seq.Rows[i-1], px.seq.Rows[j-1]
+	length := float64(px.l[j] - px.l[i-1])
+	aggs := make([]float64, px.p)
+	for d := 0; d < px.p; d++ {
+		aggs[d] = (px.s[d][j] - px.s[d][i-1]) / length
+	}
+	return temporal.SeqRow{
+		Group: first.Group,
+		Aggs:  aggs,
+		T:     temporal.Interval{Start: first.T.Start, End: last.T.End},
+	}
+}
+
+// validateBounds panics on malformed 1-based run bounds; exported entry
+// points validate their arguments instead, so this is a defensive check for
+// internal callers only.
+func (px *Prefix) validateBounds(i, j int) {
+	if i < 1 || j > px.n || i > j {
+		panic(fmt.Sprintf("core: run bounds [%d, %d] out of range 1..%d", i, j, px.n))
+	}
+}

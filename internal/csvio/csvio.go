@@ -1,0 +1,182 @@
+// Package csvio persists temporal relations and sequential relations as CSV
+// files. It replaces the Oracle 11g instance the paper used as its storage
+// medium; all reported measurements exclude storage I/O, so a plain-text
+// format preserves every experiment.
+//
+// Relation format: a header of "name:kind" columns followed by the implicit
+// "tstart" and "tend" interval columns, then one row per tuple:
+//
+//	Empl:string,Proj:string,Sal:float,tstart,tend
+//	John,A,800,1,4
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/temporal"
+)
+
+// StoreRelation writes the relation as CSV.
+func StoreRelation(w io.Writer, r *temporal.Relation) error {
+	cw := csv.NewWriter(w)
+	schema := r.Schema()
+	header := make([]string, 0, schema.Len()+2)
+	for _, a := range schema.Attrs() {
+		header = append(header, a.Name+":"+a.Kind.String())
+	}
+	header = append(header, "tstart", "tend")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csvio: writing header: %v", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < r.Len(); i++ {
+		tp := r.Tuple(i)
+		for j, v := range tp.Vals {
+			row[j] = v.String()
+		}
+		row[len(row)-2] = strconv.FormatInt(tp.T.Start, 10)
+		row[len(row)-1] = strconv.FormatInt(tp.T.End, 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("csvio: writing tuple %d: %v", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadRelation reads a relation previously written by StoreRelation (or
+// hand-authored in the same format).
+func LoadRelation(rd io.Reader) (*temporal.Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %v", err)
+	}
+	if len(header) < 3 || header[len(header)-2] != "tstart" || header[len(header)-1] != "tend" {
+		return nil, fmt.Errorf("csvio: header must end in tstart,tend columns")
+	}
+	attrs := make([]temporal.Attribute, len(header)-2)
+	for i, h := range header[:len(header)-2] {
+		name, kindStr, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("csvio: header column %q is not name:kind", h)
+		}
+		kind, err := temporal.ParseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = temporal.Attribute{Name: name, Kind: kind}
+	}
+	schema, err := temporal.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := temporal.NewRelation(schema)
+	vals := make([]temporal.Datum, len(attrs))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: %v", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvio: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		for i, a := range attrs {
+			v, err := temporal.ParseDatum(a.Kind, rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("csvio: line %d: %v", line, err)
+			}
+			vals[i] = v
+		}
+		start, err := strconv.ParseInt(strings.TrimSpace(rec[len(rec)-2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: bad tstart: %v", line, err)
+		}
+		end, err := strconv.ParseInt(strings.TrimSpace(rec[len(rec)-1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: bad tend: %v", line, err)
+		}
+		if err := out.Append(vals, temporal.Interval{Start: start, End: end}); err != nil {
+			return nil, fmt.Errorf("csvio: line %d: %v", line, err)
+		}
+	}
+	return out, nil
+}
+
+// StoreSequence writes a sequential relation as CSV: grouping columns, one
+// column per aggregate attribute, then tstart and tend.
+func StoreSequence(w io.Writer, seq *temporal.Sequence) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(seq.GroupAttrs)+seq.P()+2)
+	for _, a := range seq.GroupAttrs {
+		header = append(header, a.Name+":"+a.Kind.String())
+	}
+	header = append(header, seq.AggNames...)
+	header = append(header, "tstart", "tend")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csvio: writing header: %v", err)
+	}
+	row := make([]string, len(header))
+	for _, r := range seq.Rows {
+		i := 0
+		for _, v := range seq.Groups.Values(r.Group) {
+			row[i] = v.String()
+			i++
+		}
+		for _, a := range r.Aggs {
+			row[i] = strconv.FormatFloat(a, 'g', -1, 64)
+			i++
+		}
+		row[i] = strconv.FormatInt(r.T.Start, 10)
+		row[i+1] = strconv.FormatInt(r.T.End, 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("csvio: writing row: %v", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveRelationFile stores the relation at path, creating or truncating it.
+func SaveRelationFile(path string, r *temporal.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := StoreRelation(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRelationFile loads a relation from path.
+func LoadRelationFile(path string) (*temporal.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadRelation(f)
+}
+
+// SaveSequenceFile stores the sequence at path.
+func SaveSequenceFile(path string, seq *temporal.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := StoreSequence(f, seq); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/ita"
+	"repro/internal/temporal"
+)
+
+func TestProjMatchesFigure1a(t *testing.T) {
+	r := Proj()
+	if r.Len() != 5 {
+		t.Fatalf("proj has %d tuples, want 5", r.Len())
+	}
+	tp := r.Tuple(0)
+	if tp.Vals[0].Text() != "John" || tp.Vals[1].Text() != "A" || tp.Vals[2].FloatVal() != 800 {
+		t.Errorf("first tuple = %v", tp)
+	}
+	if tp.T != (temporal.Interval{Start: 1, End: 4}) {
+		t.Errorf("first interval = %v", tp.T)
+	}
+}
+
+func TestETDSShape(t *testing.T) {
+	cfg := ETDSConfig{Records: 8000, Horizon: 600, Seed: 1}
+	r, err := ETDS(cfg)
+	if err != nil {
+		t.Fatalf("ETDS: %v", err)
+	}
+	if r.Len() < cfg.Records || r.Len() > cfg.Records+20 {
+		t.Errorf("records = %d, want ≈%d", r.Len(), cfg.Records)
+	}
+	span, ok := r.TimeSpan()
+	if !ok || span.Start < 0 || span.End >= temporal.Chronon(cfg.Horizon) {
+		t.Errorf("time span %v outside horizon %d", span, cfg.Horizon)
+	}
+
+	// E1-style query: ungrouped avg(Salary). The ITA size must be bounded
+	// by ~2 × horizon and far below the input size.
+	seq, err := ita.Eval(r, ita.Query{Aggs: []ita.AggSpec{{Func: ita.Avg, Attr: "Salary"}}})
+	if err != nil {
+		t.Fatalf("ITA: %v", err)
+	}
+	if seq.Len() >= r.Len()/2 {
+		t.Errorf("ungrouped ITA size %d not ≪ input %d", seq.Len(), r.Len())
+	}
+	if seq.Len() > 2*cfg.Horizon {
+		t.Errorf("ungrouped ITA size %d exceeds 2×horizon", seq.Len())
+	}
+	if err := seq.Validate(); err != nil {
+		t.Errorf("invalid ITA result: %v", err)
+	}
+
+	// E4-style query: grouped by employee and department, the ITA result
+	// must exceed the input size (the paper's 2.87 M → 5.4 M regime).
+	seq4, err := ita.Eval(r, ita.Query{
+		GroupBy: []string{"EmpNo", "Dept"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Salary"}},
+	})
+	if err != nil {
+		t.Fatalf("ITA E4: %v", err)
+	}
+	if seq4.Len() <= r.Len() {
+		t.Errorf("grouped ITA size %d does not exceed input %d", seq4.Len(), r.Len())
+	}
+}
+
+func TestETDSDeterministic(t *testing.T) {
+	cfg := ETDSConfig{Records: 500, Horizon: 240, Seed: 7}
+	a, _ := ETDS(cfg)
+	b, _ := ETDS(cfg)
+	if !a.Equal(b) {
+		t.Error("same seed must give identical relations")
+	}
+	cfg.Seed = 8
+	c, _ := ETDS(cfg)
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestETDSValidation(t *testing.T) {
+	if _, err := ETDS(ETDSConfig{Records: 0, Horizon: 100}); err == nil {
+		t.Error("zero records should fail")
+	}
+	if _, err := ETDS(ETDSConfig{Records: 10, Horizon: 5}); err == nil {
+		t.Error("tiny horizon should fail")
+	}
+}
+
+func TestIncumbentsShape(t *testing.T) {
+	cfg := IncumbentsConfig{Records: 6000, Depts: 8, Projs: 6, Horizon: 360, Seed: 2}
+	r, err := Incumbents(cfg)
+	if err != nil {
+		t.Fatalf("Incumbents: %v", err)
+	}
+	if r.Len() < cfg.Records {
+		t.Errorf("records = %d, want ≥ %d", r.Len(), cfg.Records)
+	}
+	seq, err := ita.Eval(r, ita.Query{
+		GroupBy: []string{"Dept", "Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Salary"}},
+	})
+	if err != nil {
+		t.Fatalf("ITA: %v", err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("invalid ITA result: %v", err)
+	}
+	// The paper's I-queries have 131 runs over ~16 k rows: many groups,
+	// some with suspension gaps. Require a comparable structure: more runs
+	// than groups (some gaps exist), far fewer runs than rows.
+	groups := cfg.Depts * cfg.Projs
+	cmin := seq.CMin()
+	if cmin < groups/2 {
+		t.Errorf("cmin = %d suspiciously small for %d groups", cmin, groups)
+	}
+	if cmin > groups*6 {
+		t.Errorf("cmin = %d too large for %d groups", cmin, groups)
+	}
+	if seq.Len() < 10*cmin {
+		t.Errorf("ITA size %d not ≫ cmin %d", seq.Len(), cmin)
+	}
+}
+
+func TestIncumbentsValidation(t *testing.T) {
+	if _, err := Incumbents(IncumbentsConfig{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestChaoticShape(t *testing.T) {
+	seq, err := Chaotic(1800)
+	if err != nil {
+		t.Fatalf("Chaotic: %v", err)
+	}
+	if seq.Len() != 1800 || seq.P() != 1 {
+		t.Fatalf("series %d×%d", seq.Len(), seq.P())
+	}
+	if seq.CMin() != 1 {
+		t.Errorf("cmin = %d, want 1 (no gaps)", seq.CMin())
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Chaos: essentially no constant runs.
+	for i := 0; i+1 < 100; i++ {
+		if seq.Rows[i].Aggs[0] == seq.Rows[i+1].Aggs[0] {
+			t.Fatalf("unexpected constant run at %d", i)
+		}
+	}
+	if _, err := Chaotic(0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}
+
+func TestTideShape(t *testing.T) {
+	seq, err := Tide(8746, 3)
+	if err != nil {
+		t.Fatalf("Tide: %v", err)
+	}
+	if seq.Len() != 8746 || seq.CMin() != 1 {
+		t.Fatalf("len=%d cmin=%d", seq.Len(), seq.CMin())
+	}
+	a, _ := Tide(100, 3)
+	b, _ := Tide(100, 3)
+	if !a.Equal(b, 0) {
+		t.Error("same seed must reproduce")
+	}
+	if _, err := Tide(0, 1); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}
+
+func TestWindShape(t *testing.T) {
+	seq, err := Wind(6574, 12, 215, 4)
+	if err != nil {
+		t.Fatalf("Wind: %v", err)
+	}
+	if seq.Len() != 6574 || seq.P() != 12 {
+		t.Fatalf("series %d×%d", seq.Len(), seq.P())
+	}
+	if got := seq.CMin(); got != 216 {
+		t.Errorf("cmin = %d, want 216 (215 gaps)", got)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if _, err := Wind(10, 2, 10, 1); err == nil {
+		t.Error("gaps ≥ n should fail")
+	}
+	if _, err := Wind(0, 2, 0, 1); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	s1, err := Uniform(1, 5000, 10, 5)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if s1.Len() != 5000 || s1.P() != 10 || s1.CMin() != 1 {
+		t.Fatalf("S1 shape: len=%d p=%d cmin=%d", s1.Len(), s1.P(), s1.CMin())
+	}
+	s2, err := Uniform(50, 200, 10, 5)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if s2.Len() != 10000 || s2.CMin() != 50 {
+		t.Fatalf("S2 shape: len=%d cmin=%d", s2.Len(), s2.CMin())
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if _, err := Uniform(0, 1, 1, 1); err == nil {
+		t.Error("zero groups should fail")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, _ := Uniform(3, 50, 2, 9)
+	b, _ := Uniform(3, 50, 2, 9)
+	if !a.Equal(b, 0) {
+		t.Error("same seed must reproduce")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config { return Config{Scale: 1, Seed: 7, Quick: true} }
+
+// TestAllExperimentsRunQuick smoke-tests every registered experiment at
+// Quick scale: it must succeed, produce a well-formed table, and render.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	exps := All()
+	if len(exps) < 15 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(quickConfig())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Format(&buf); err != nil {
+				t.Errorf("Format: %v", err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("formatted output lacks the id")
+			}
+			buf.Reset()
+			if err := tab.CSV(&buf); err != nil {
+				t.Errorf("CSV: %v", err)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig15"); !ok {
+		t.Error("fig15 should exist")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("nope should not exist")
+	}
+}
+
+func TestWorkloadsUnknownName(t *testing.T) {
+	if _, err := Workloads(quickConfig(), "Z9"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	ws, err := Workloads(quickConfig(), "E1", "E4", "I1", "T1", "T3", "S2")
+	if err != nil {
+		t.Fatalf("Workloads: %v", err)
+	}
+	byName := map[string]Workload{}
+	for _, w := range ws {
+		byName[w.Name] = w
+		if err := w.Seq.Validate(); err != nil {
+			t.Errorf("%s: invalid sequence: %v", w.Name, err)
+		}
+	}
+	if byName["E1"].Seq.CMin() != 1 {
+		t.Errorf("E1 cmin = %d, want 1", byName["E1"].Seq.CMin())
+	}
+	if byName["E4"].Seq.Len() <= byName["E4"].InputSize {
+		t.Errorf("E4 ITA size %d should exceed input %d", byName["E4"].Seq.Len(), byName["E4"].InputSize)
+	}
+	if byName["T3"].Seq.P() != 12 {
+		t.Errorf("T3 dims = %d, want 12", byName["T3"].Seq.P())
+	}
+	if byName["S2"].Seq.Groups.Len() < 2 {
+		t.Error("S2 should be grouped")
+	}
+}
+
+// TestFig14aErrorsAreMonotone: within one query column, the error grows
+// with the reduction ratio.
+func TestFig14aErrorsAreMonotone(t *testing.T) {
+	tab, err := ByIDMust("fig14a").Run(quickConfig())
+	if err != nil {
+		t.Fatalf("fig14a: %v", err)
+	}
+	cols := len(tab.Header)
+	for c := 1; c < cols; c++ {
+		prev := -1.0
+		for _, row := range tab.Rows {
+			if row[c] == "-" {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatalf("cell %q: %v", row[c], err)
+			}
+			if v+1e-6 < prev {
+				t.Errorf("column %s not monotone: %v after %v", tab.Header[c], v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestFig16GPTAcNearOne: the gPTAc column must stay close to the optimum
+// (the paper's headline claim).
+func TestFig16GPTAcNearOne(t *testing.T) {
+	tab, err := ByIDMust("fig16").Run(quickConfig())
+	if err != nil {
+		t.Fatalf("fig16: %v", err)
+	}
+	for _, row := range tab.Rows {
+		cell := row[1]
+		if cell == "n/a" {
+			continue
+		}
+		mean, _, ok := strings.Cut(cell, "±")
+		if !ok {
+			t.Fatalf("cell %q not mean±err", cell)
+		}
+		v, err := strconv.ParseFloat(mean, 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		if v < 0.5 || v > 3 {
+			t.Errorf("%s: gPTAc average ratio %v outside a plausible range", row[0], v)
+		}
+	}
+}
+
+func ByIDMust(id string) Experiment {
+	e, ok := ByID(id)
+	if !ok {
+		panic("missing experiment " + id)
+	}
+	return e
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ita"
+	"repro/internal/temporal"
+)
+
+// Workload is one of the twelve ITA queries of Table 1, materialized as its
+// sequential relation (the input of the PTA merging phase).
+type Workload struct {
+	// Name is the paper's query id: E1..E4, I1..I3, T1..T3, S1, S2.
+	Name string
+	// Grouping and Funcs describe the query for reporting.
+	Grouping, Funcs string
+	// Seq is the ITA result (or the raw series for T- and S-workloads).
+	Seq *temporal.Sequence
+	// InputSize is the argument relation's cardinality (0 for series that
+	// skip the ITA step).
+	InputSize int
+}
+
+// buildETDS generates the employee relation once per call scale.
+func buildETDS(cfg Config) (*temporal.Relation, error) {
+	c := dataset.DefaultETDS()
+	c.Seed = cfg.Seed
+	c.Records = cfg.scaled(60000)
+	c.Horizon = cfg.scaled(1600)
+	return dataset.ETDS(c)
+}
+
+func buildIncumbents(cfg Config) (*temporal.Relation, error) {
+	c := dataset.IncumbentsConfig{
+		Records: cfg.scaled(30000),
+		Depts:   6,
+		Projs:   4,
+		Horizon: max(48, cfg.scaled(144)),
+		Seed:    cfg.Seed + 1,
+	}
+	return dataset.Incumbents(c)
+}
+
+// Workloads materializes the named workloads (see Table 1). Relations are
+// generated and aggregated on demand; requesting several E- or I-queries
+// reuses one generated relation.
+func Workloads(cfg Config, names ...string) ([]Workload, error) {
+	var (
+		etds, incumbents *temporal.Relation
+		err              error
+	)
+	needETDS := func() (*temporal.Relation, error) {
+		if etds == nil {
+			etds, err = buildETDS(cfg)
+		}
+		return etds, err
+	}
+	needIncumbents := func() (*temporal.Relation, error) {
+		if incumbents == nil {
+			incumbents, err = buildIncumbents(cfg)
+		}
+		return incumbents, err
+	}
+	salAgg := func(f ita.Func) []ita.AggSpec {
+		return []ita.AggSpec{{Func: f, Attr: "Salary"}}
+	}
+
+	out := make([]Workload, 0, len(names))
+	for _, name := range names {
+		var w Workload
+		w.Name = name
+		switch name {
+		case "E1", "E2", "E3":
+			r, err := needETDS()
+			if err != nil {
+				return nil, err
+			}
+			f := map[string]ita.Func{"E1": ita.Avg, "E2": ita.Max, "E3": ita.Sum}[name]
+			seq, err := ita.Eval(r, ita.Query{Aggs: salAgg(f)})
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "-", f.String()+"(Salary)"
+			w.Seq, w.InputSize = seq, r.Len()
+		case "E4":
+			r, err := needETDS()
+			if err != nil {
+				return nil, err
+			}
+			seq, err := ita.Eval(r, ita.Query{GroupBy: []string{"EmpNo", "Dept"}, Aggs: salAgg(ita.Avg)})
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "EmpNo,Dept", "avg(Salary)"
+			w.Seq, w.InputSize = seq, r.Len()
+		case "I1", "I2", "I3":
+			r, err := needIncumbents()
+			if err != nil {
+				return nil, err
+			}
+			f := map[string]ita.Func{"I1": ita.Avg, "I2": ita.Max, "I3": ita.Sum}[name]
+			seq, err := ita.Eval(r, ita.Query{GroupBy: []string{"Dept", "Proj"}, Aggs: salAgg(f)})
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "Dept,Proj", f.String()+"(Salary)"
+			w.Seq, w.InputSize = seq, r.Len()
+		case "T1":
+			seq, err := dataset.Chaotic(cfg.scaled(1800))
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "-", "1 dim"
+			w.Seq = seq
+		case "T2":
+			seq, err := dataset.Tide(cfg.scaled(8746), cfg.Seed+2)
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "-", "1 dim"
+			w.Seq = seq
+		case "T3":
+			n := cfg.scaled(6574)
+			gaps := min(215, n/4)
+			seq, err := dataset.Wind(n, 12, gaps, cfg.Seed+3)
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "-", "12 dims"
+			w.Seq = seq
+		case "S1":
+			seq, err := dataset.Uniform(1, cfg.scaled(200000), 10, cfg.Seed+4)
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "-", "10 dims"
+			w.Seq = seq
+		case "S2":
+			groups := cfg.scaled(1000)
+			seq, err := dataset.Uniform(groups, 200, 10, cfg.Seed+5)
+			if err != nil {
+				return nil, err
+			}
+			w.Grouping, w.Funcs = "yes", "10 dims"
+			w.Seq = seq
+		default:
+			return nil, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

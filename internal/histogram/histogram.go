@@ -1,0 +1,172 @@
+// Package histogram implements V-optimal histogram construction for
+// one-dimensional data with a size or error bound, following Jagadish,
+// Koudas, Muthukrishnan, Poosala, Sevcik and Suel, "Optimal Histograms with
+// Quality Guarantees" (VLDB 1998) — the dynamic program that Section 5 of
+// the PTA paper extends to multi-dimensional, gap-aware temporal data.
+//
+// A histogram partitions the value vector v[0..n) into b contiguous buckets;
+// each bucket is summarized by its mean, and the quality measure is the sum
+// squared error. The dynamic program finds the partition minimizing SSE in
+// O(n²b) time and O(nb) space using prefix sums for O(1) bucket errors.
+//
+// PTA on a gap-free, single-group, unit-length sequential relation with one
+// aggregate attribute is exactly this problem; the package doubles as an
+// independent oracle for the core DP in tests.
+package histogram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bucket is one contiguous run of values summarized by its mean.
+type Bucket struct {
+	// Lo and Hi delimit the half-open index range [Lo, Hi) of the bucket.
+	Lo, Hi int
+	// Mean is the average of the values inside the bucket.
+	Mean float64
+	// SSE is the sum squared error of representing the bucket by Mean.
+	SSE float64
+}
+
+// Histogram is a V-optimal partition of a value vector.
+type Histogram struct {
+	// Buckets lists the buckets in index order.
+	Buckets []Bucket
+	// SSE is the total error Σ bucket.SSE.
+	SSE float64
+}
+
+// prefix enables O(1) range means and SSEs.
+type prefix struct {
+	s  []float64 // s[i] = Σ v[0..i)
+	ss []float64
+}
+
+func newPrefix(vals []float64) *prefix {
+	p := &prefix{s: make([]float64, len(vals)+1), ss: make([]float64, len(vals)+1)}
+	for i, v := range vals {
+		p.s[i+1] = p.s[i] + v
+		p.ss[i+1] = p.ss[i] + v*v
+	}
+	return p
+}
+
+// rangeSSE returns the SSE of bucket [lo, hi) under its own mean.
+func (p *prefix) rangeSSE(lo, hi int) float64 {
+	if hi-lo <= 1 {
+		return 0
+	}
+	n := float64(hi - lo)
+	s := p.s[hi] - p.s[lo]
+	sse := (p.ss[hi] - p.ss[lo]) - s*s/n
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}
+
+func (p *prefix) rangeMean(lo, hi int) float64 {
+	return (p.s[hi] - p.s[lo]) / float64(hi-lo)
+}
+
+// VOptimal builds the minimal-SSE histogram of vals with exactly
+// min(b, len(vals)) buckets.
+func VOptimal(vals []float64, b int) (*Histogram, error) {
+	n := len(vals)
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: empty input")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("histogram: bucket count %d, want ≥ 1", b)
+	}
+	b = min(b, n)
+	p := newPrefix(vals)
+
+	// e[k][i]: minimal SSE of splitting the first i values into k buckets.
+	// Only two rows are live; the split matrix is kept for reconstruction.
+	prevE := make([]float64, n+1)
+	curE := make([]float64, n+1)
+	splits := make([][]int32, b)
+	for i := 1; i <= n; i++ {
+		curE[i] = p.rangeSSE(0, i)
+	}
+	splits[0] = make([]int32, n+1)
+	for k := 2; k <= b; k++ {
+		prevE, curE = curE, prevE
+		row := make([]int32, n+1)
+		for i := range curE {
+			curE[i] = math.Inf(1)
+		}
+		for i := k; i <= n; i++ {
+			best := math.Inf(1)
+			bestJ := int32(k - 1)
+			for j := i - 1; j >= k-1; j-- {
+				tail := p.rangeSSE(j, i)
+				if e := prevE[j] + tail; e < best {
+					best = e
+					bestJ = int32(j)
+				}
+				if tail > best {
+					break
+				}
+			}
+			curE[i] = best
+			row[i] = bestJ
+		}
+		splits[k-1] = row
+	}
+
+	h := &Histogram{SSE: curE[n], Buckets: make([]Bucket, b)}
+	hi := n
+	for k := b; k >= 1; k-- {
+		lo := 0
+		if k > 1 {
+			lo = int(splits[k-1][hi])
+		}
+		h.Buckets[k-1] = Bucket{Lo: lo, Hi: hi, Mean: p.rangeMean(lo, hi), SSE: p.rangeSSE(lo, hi)}
+		hi = lo
+	}
+	return h, nil
+}
+
+// VOptimalError builds the smallest histogram whose SSE does not exceed
+// maxSSE (the error-bounded variant). maxSSE must be non-negative.
+func VOptimalError(vals []float64, maxSSE float64) (*Histogram, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("histogram: empty input")
+	}
+	if maxSSE < 0 {
+		return nil, fmt.Errorf("histogram: negative error bound %v", maxSSE)
+	}
+	// The optimal SSE is non-increasing in b: binary search the smallest b.
+	lo, hi := 1, len(vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		h, err := VOptimal(vals, mid)
+		if err != nil {
+			return nil, err
+		}
+		if h.SSE <= maxSSE {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return VOptimal(vals, lo)
+}
+
+// Reconstruct expands the histogram back to a full-resolution vector where
+// every index carries its bucket mean.
+func (h *Histogram) Reconstruct() []float64 {
+	if len(h.Buckets) == 0 {
+		return nil
+	}
+	out := make([]float64, h.Buckets[len(h.Buckets)-1].Hi)
+	for _, b := range h.Buckets {
+		for i := b.Lo; i < b.Hi; i++ {
+			out[i] = b.Mean
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/temporal"
+)
+
+func TestVOptimalExact(t *testing.T) {
+	// Two clear plateaus: the 2-bucket optimum splits between them.
+	vals := []float64{1, 1, 1, 9, 9, 9}
+	h, err := VOptimal(vals, 2)
+	if err != nil {
+		t.Fatalf("VOptimal: %v", err)
+	}
+	if h.SSE != 0 {
+		t.Errorf("SSE = %v, want 0", h.SSE)
+	}
+	if h.Buckets[0].Hi != 3 || h.Buckets[0].Mean != 1 || h.Buckets[1].Mean != 9 {
+		t.Errorf("buckets = %+v", h.Buckets)
+	}
+}
+
+func TestVOptimalSingleBucket(t *testing.T) {
+	vals := []float64{2, 4, 6}
+	h, err := VOptimal(vals, 1)
+	if err != nil {
+		t.Fatalf("VOptimal: %v", err)
+	}
+	// SSE = (2−4)² + (4−4)² + (6−4)² = 8.
+	if math.Abs(h.SSE-8) > 1e-9 || math.Abs(h.Buckets[0].Mean-4) > 1e-9 {
+		t.Errorf("SSE = %v mean = %v", h.SSE, h.Buckets[0].Mean)
+	}
+}
+
+func TestVOptimalValidation(t *testing.T) {
+	if _, err := VOptimal(nil, 2); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := VOptimal([]float64{1}, 0); err == nil {
+		t.Error("b = 0 should fail")
+	}
+	h, err := VOptimal([]float64{1, 2}, 10)
+	if err != nil || len(h.Buckets) != 2 || h.SSE != 0 {
+		t.Errorf("b > n should clamp: %+v, %v", h, err)
+	}
+}
+
+func TestVOptimalReconstructLen(t *testing.T) {
+	vals := []float64{5, 1, 5, 1, 5}
+	h, _ := VOptimal(vals, 3)
+	rec := h.Reconstruct()
+	if len(rec) != len(vals) {
+		t.Fatalf("reconstruct length %d, want %d", len(rec), len(vals))
+	}
+}
+
+// bruteForce finds the optimal SSE by enumerating every partition.
+func bruteForce(vals []float64, b int) float64 {
+	p := newPrefix(vals)
+	n := len(vals)
+	best := math.Inf(1)
+	var rec func(start, left int, acc float64)
+	rec = func(start, left int, acc float64) {
+		if left == 1 {
+			if e := acc + p.rangeSSE(start, n); e < best {
+				best = e
+			}
+			return
+		}
+		for end := start + 1; end <= n-left+1; end++ {
+			rec(end, left-1, acc+p.rangeSSE(start, end))
+		}
+	}
+	rec(0, b, 0)
+	return best
+}
+
+func TestVOptimalPropMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64() * 100)
+		}
+		b := 1 + rng.Intn(n)
+		h, err := VOptimal(vals, b)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(vals, b)
+		return math.Abs(h.SSE-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVOptimalPropMatchesCoreDP: V-optimal histogram construction is the
+// 1-D, gap-free, unit-length special case of PTAc (Section 2.3 of the
+// paper); the two independent implementations must agree.
+func TestVOptimalPropMatchesCoreDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		vals := make([]float64, n)
+		seq := temporal.NewSequence(nil, []string{"v"})
+		gid := seq.Groups.Intern(nil)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64()*1000) / 8
+			seq.Rows = append(seq.Rows, temporal.SeqRow{
+				Group: gid,
+				Aggs:  []float64{vals[i]},
+				T:     temporal.Inst(temporal.Chronon(i)),
+			})
+		}
+		b := 1 + rng.Intn(n)
+		h, err1 := VOptimal(vals, b)
+		res, err2 := core.PTAc(seq, b, core.Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(h.SSE-res.Error) > 1e-6*(1+res.Error) {
+			return false
+		}
+		// Bucket boundaries must coincide with PTA row intervals.
+		if len(h.Buckets) != res.Sequence.Len() {
+			return false
+		}
+		for i, bk := range h.Buckets {
+			row := res.Sequence.Rows[i]
+			if int64(bk.Lo) != row.T.Start || int64(bk.Hi-1) != row.T.End {
+				return false
+			}
+			if math.Abs(bk.Mean-row.Aggs[0]) > 1e-9*(1+math.Abs(bk.Mean)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVOptimalErrorBounded(t *testing.T) {
+	vals := []float64{1, 1, 9, 9, 5, 5}
+	full, _ := VOptimal(vals, 1)
+	// A zero bound needs one bucket per distinct plateau (SSE 0 with 3).
+	h, err := VOptimalError(vals, 0)
+	if err != nil {
+		t.Fatalf("VOptimalError: %v", err)
+	}
+	if h.SSE != 0 || len(h.Buckets) != 3 {
+		t.Errorf("zero-bound histogram: %d buckets, SSE %v", len(h.Buckets), h.SSE)
+	}
+	// The full error bound allows a single bucket.
+	h, err = VOptimalError(vals, full.SSE)
+	if err != nil || len(h.Buckets) != 1 {
+		t.Errorf("full-bound histogram: %d buckets (%v)", len(h.Buckets), err)
+	}
+	if _, err := VOptimalError(vals, -1); err == nil {
+		t.Error("negative bound should fail")
+	}
+}
+
+func TestVOptimalErrorPropMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64() * 50)
+		}
+		full, err := VOptimal(vals, 1)
+		if err != nil {
+			return false
+		}
+		bound := rng.Float64() * full.SSE
+		h, err := VOptimalError(vals, bound)
+		if err != nil {
+			return false
+		}
+		if h.SSE > bound+1e-9 {
+			return false
+		}
+		// One bucket fewer must violate the bound (unless already at 1).
+		if len(h.Buckets) > 1 {
+			smaller, err := VOptimal(vals, len(h.Buckets)-1)
+			if err != nil {
+				return false
+			}
+			if smaller.SSE <= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

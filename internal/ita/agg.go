@@ -1,0 +1,125 @@
+package ita
+
+import "repro/internal/temporal"
+
+// aggState is the incremental state of one aggregate function during the
+// per-group sweep. enter is called when a tuple becomes active, leave when
+// the sweep passes its end, and at returns the aggregate value for the
+// elementary interval starting at chronon t while `active` tuples hold.
+type aggState interface {
+	enter(v float64, end temporal.Chronon)
+	leave(v float64)
+	at(t temporal.Chronon, active int) float64
+	reset()
+}
+
+func newAggState(f Func) aggState {
+	switch f {
+	case Avg:
+		return &avgState{}
+	case Sum:
+		return &sumState{}
+	case Count:
+		return &countState{}
+	case Min:
+		return &extremeState{wantMax: false}
+	case Max:
+		return &extremeState{wantMax: true}
+	}
+	panic("ita: unknown aggregate function")
+}
+
+type sumState struct{ sum float64 }
+
+func (s *sumState) enter(v float64, _ temporal.Chronon)  { s.sum += v }
+func (s *sumState) leave(v float64)                      { s.sum -= v }
+func (s *sumState) at(_ temporal.Chronon, _ int) float64 { return s.sum }
+func (s *sumState) reset()                               { s.sum = 0 }
+
+type avgState struct{ sum float64 }
+
+func (s *avgState) enter(v float64, _ temporal.Chronon)       { s.sum += v }
+func (s *avgState) leave(v float64)                           { s.sum -= v }
+func (s *avgState) at(_ temporal.Chronon, active int) float64 { return s.sum / float64(active) }
+func (s *avgState) reset()                                    { s.sum = 0 }
+
+type countState struct{}
+
+func (countState) enter(float64, temporal.Chronon)           {}
+func (countState) leave(float64)                             {}
+func (countState) at(_ temporal.Chronon, active int) float64 { return float64(active) }
+func (countState) reset()                                    {}
+
+// extremeState keeps a lazy-deletion binary heap of (value, end) pairs. A
+// pair stays in the heap after its tuple ends and is discarded only when it
+// surfaces at the top with end < t. This gives O(log m) amortized updates
+// without an order-statistics structure.
+type extremeState struct {
+	wantMax bool
+	heap    []extremeEntry
+}
+
+type extremeEntry struct {
+	v   float64
+	end temporal.Chronon
+}
+
+func (s *extremeState) better(a, b float64) bool {
+	if s.wantMax {
+		return a > b
+	}
+	return a < b
+}
+
+func (s *extremeState) enter(v float64, end temporal.Chronon) {
+	s.heap = append(s.heap, extremeEntry{v: v, end: end})
+	// Sift up.
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.better(s.heap[i].v, s.heap[parent].v) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *extremeState) leave(float64) {} // lazy: cleaned up in at()
+
+func (s *extremeState) pop() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.better(s.heap[l].v, s.heap[best].v) {
+			best = l
+		}
+		if r < n && s.better(s.heap[r].v, s.heap[best].v) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+}
+
+func (s *extremeState) at(t temporal.Chronon, _ int) float64 {
+	for len(s.heap) > 0 && s.heap[0].end < t {
+		s.pop()
+	}
+	if len(s.heap) == 0 {
+		// The sweep only queries while at least one tuple is active, so the
+		// heap cannot be empty here; returning 0 keeps the method total.
+		return 0
+	}
+	return s.heap[0].v
+}
+
+func (s *extremeState) reset() { s.heap = s.heap[:0] }

@@ -1,0 +1,203 @@
+package ita
+
+import (
+	"sort"
+
+	"repro/internal/temporal"
+)
+
+// This file implements the aggregation-tree evaluation of instant temporal
+// aggregation after Kline & Snodgrass ("Computing temporal aggregates",
+// ICDE 1995) — reference [15] of the paper and one of the ITA algorithms its
+// Section 5.4 assumes. The tree is built per aggregation group over the
+// endpoint-compressed time line; each input tuple adds its contribution to
+// O(log m) canonical node ranges, and an in-order traversal with running
+// partial aggregates emits the constant intervals.
+//
+// The sweep in iterator.go remains the production evaluator (it streams and
+// supports min/max cheaply); the tree exists as the classic alternative and
+// as an independent oracle — TestAggTreeMatchesSweep cross-checks the two on
+// random inputs.
+
+// EvalTree evaluates the ITA query with aggregation trees. It supports the
+// decomposable functions Sum, Count and Avg; Min and Max would need
+// per-node multisets and are served by the sweep evaluator.
+func EvalTree(r *temporal.Relation, q Query) (*temporal.Sequence, error) {
+	c, err := compile(r.Schema(), q)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range c.specs {
+		if spec.Func == Min || spec.Func == Max {
+			return nil, errMinMaxTree
+		}
+	}
+	meta := c.resultMeta(r.Schema())
+
+	// Partition tuples by group.
+	type member struct {
+		iv   temporal.Interval
+		vals []float64
+	}
+	byGroup := make(map[int32][]member)
+	groupVals := make([]temporal.Datum, len(c.groupIdx))
+	for i := 0; i < r.Len(); i++ {
+		tp := r.Tuple(i)
+		for gi, idx := range c.groupIdx {
+			groupVals[gi] = tp.Vals[idx]
+		}
+		id := meta.Groups.Intern(groupVals)
+		vals := make([]float64, len(c.specs))
+		for d, idx := range c.attrIdx {
+			if idx >= 0 {
+				v, _ := tp.Vals[idx].Numeric()
+				vals[d] = v
+			}
+		}
+		byGroup[id] = append(byGroup[id], member{iv: tp.T, vals: vals})
+	}
+
+	for _, gid := range meta.Groups.SortedIDs() {
+		members := byGroup[gid]
+		if len(members) == 0 {
+			continue
+		}
+		// Endpoint compression: elementary interval k spans
+		// [points[k], points[k+1]−1].
+		pointSet := make(map[temporal.Chronon]bool, 2*len(members))
+		for _, m := range members {
+			pointSet[m.iv.Start] = true
+			pointSet[m.iv.End+1] = true
+		}
+		points := make([]temporal.Chronon, 0, len(pointSet))
+		for pt := range pointSet {
+			points = append(points, pt)
+		}
+		sort.Slice(points, func(a, b int) bool { return points[a] < points[b] })
+		leaves := len(points) - 1
+
+		tree := newAggTree(leaves, len(c.specs))
+		locate := func(t temporal.Chronon) int {
+			return sort.Search(len(points), func(i int) bool { return points[i] > t }) - 1
+		}
+		for _, m := range members {
+			lo := locate(m.iv.Start)
+			hi := locate(m.iv.End) // inclusive leaf range
+			tree.add(lo, hi, m.vals)
+		}
+
+		// Traverse leaves left to right accumulating path sums, coalescing
+		// equal aggregate vectors over consecutive elementary intervals.
+		var pending temporal.SeqRow
+		hasPending := false
+		flush := func() {
+			if hasPending {
+				meta.Rows = append(meta.Rows, pending)
+				hasPending = false
+			}
+		}
+		aggBuf := make([]float64, len(c.specs))
+		tree.walk(func(leaf int, count float64, sums []float64) {
+			if count == 0 {
+				flush()
+				return
+			}
+			for d, spec := range c.specs {
+				switch spec.Func {
+				case Sum:
+					aggBuf[d] = sums[d]
+				case Count:
+					aggBuf[d] = count
+				case Avg:
+					aggBuf[d] = sums[d] / count
+				}
+			}
+			iv := temporal.Interval{Start: points[leaf], End: points[leaf+1] - 1}
+			if hasPending && pending.T.End+1 == iv.Start && floatsEqual(pending.Aggs, aggBuf) {
+				pending.T.End = iv.End
+				return
+			}
+			flush()
+			pending = temporal.SeqRow{Group: gid, Aggs: append([]float64(nil), aggBuf...), T: iv}
+			hasPending = true
+		})
+		flush()
+	}
+	return meta, nil
+}
+
+// errMinMaxTree keeps the error value stable for tests.
+var errMinMaxTree = errMinMax{}
+
+type errMinMax struct{}
+
+func (errMinMax) Error() string {
+	return "ita: the aggregation tree supports sum/count/avg; use Eval for min/max"
+}
+
+// aggTree is a segment tree over elementary intervals: node annotations hold
+// the contribution of tuples covering the node's whole range (the canonical
+// decomposition of Kline & Snodgrass' aggregation tree).
+type aggTree struct {
+	leaves int
+	p      int
+	count  []float64 // per node: tuples covering the full node range
+	sums   []float64 // per node × dimension
+}
+
+func newAggTree(leaves, p int) *aggTree {
+	return &aggTree{
+		leaves: leaves,
+		p:      p,
+		count:  make([]float64, 4*leaves+4),
+		sums:   make([]float64, (4*leaves+4)*p),
+	}
+}
+
+// add registers one tuple's contribution on the canonical node ranges
+// covering leaves [lo, hi].
+func (t *aggTree) add(lo, hi int, vals []float64) {
+	t.addRec(1, 0, t.leaves-1, lo, hi, vals)
+}
+
+func (t *aggTree) addRec(node, nodeLo, nodeHi, lo, hi int, vals []float64) {
+	if hi < nodeLo || nodeHi < lo {
+		return
+	}
+	if lo <= nodeLo && nodeHi <= hi {
+		t.count[node]++
+		base := node * t.p
+		for d, v := range vals {
+			t.sums[base+d] += v
+		}
+		return
+	}
+	mid := (nodeLo + nodeHi) / 2
+	t.addRec(2*node, nodeLo, mid, lo, hi, vals)
+	t.addRec(2*node+1, mid+1, nodeHi, lo, hi, vals)
+}
+
+// walk visits the leaves in order, passing the accumulated count and sums
+// along the root-to-leaf path (the tuples active on that leaf).
+func (t *aggTree) walk(visit func(leaf int, count float64, sums []float64)) {
+	pathSums := make([]float64, t.p)
+	t.walkRec(1, 0, t.leaves-1, 0, pathSums, visit)
+}
+
+func (t *aggTree) walkRec(node, nodeLo, nodeHi int, count float64, sums []float64, visit func(int, float64, []float64)) {
+	count += t.count[node]
+	base := node * t.p
+	for d := 0; d < t.p; d++ {
+		sums[d] += t.sums[base+d]
+	}
+	if nodeLo == nodeHi {
+		visit(nodeLo, count, sums)
+	} else {
+		mid := (nodeLo + nodeHi) / 2
+		t.walkRec(2*node, nodeLo, mid, count, sums, visit)
+		t.walkRec(2*node+1, mid+1, nodeHi, count, sums, visit)
+	}
+	for d := 0; d < t.p; d++ {
+		sums[d] -= t.sums[base+d]
+	}
+}

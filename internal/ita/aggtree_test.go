@@ -1,0 +1,108 @@
+package ita
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/temporal"
+)
+
+func TestEvalTreeFigure1c(t *testing.T) {
+	got, err := EvalTree(projRelation(), avgSalQuery())
+	if err != nil {
+		t.Fatalf("EvalTree: %v", err)
+	}
+	want, _ := Eval(projRelation(), avgSalQuery())
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("aggregation tree differs from sweep:\n%v\nvs\n%v", got, want)
+	}
+}
+
+func TestEvalTreeRejectsMinMax(t *testing.T) {
+	q := Query{Aggs: []AggSpec{{Func: Max, Attr: "Sal"}}}
+	_, err := EvalTree(projRelation(), q)
+	if !errors.Is(err, errMinMaxTree) {
+		t.Errorf("expected errMinMaxTree, got %v", err)
+	}
+}
+
+func TestEvalTreeEmptyRelation(t *testing.T) {
+	r := temporal.NewRelation(temporal.MustSchema(temporal.Attribute{Name: "v", Kind: temporal.KindFloat}))
+	got, err := EvalTree(r, Query{Aggs: []AggSpec{{Func: Sum, Attr: "v"}}})
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty relation: %v rows, %v", got.Len(), err)
+	}
+}
+
+// TestEvalTreePropMatchesSweep cross-checks the two independent ITA
+// evaluators on random relations — both must produce the identical
+// sequential relation.
+func TestEvalTreePropMatchesSweep(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := temporal.MustSchema(
+			temporal.Attribute{Name: "g", Kind: temporal.KindString},
+			temporal.Attribute{Name: "v", Kind: temporal.KindInt},
+		)
+		r := temporal.NewRelation(schema)
+		n := 1 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			start := temporal.Chronon(rng.Intn(30))
+			r.MustAppend([]temporal.Datum{
+				temporal.String(string(rune('A' + rng.Intn(3)))),
+				temporal.Int(int64(rng.Intn(64)) * 8),
+			}, temporal.Interval{Start: start, End: start + temporal.Chronon(rng.Intn(8))})
+		}
+		q := Query{
+			GroupBy: []string{"g"},
+			Aggs:    []AggSpec{{Func: Sum, Attr: "v"}, {Func: Count}, {Func: Avg, Attr: "v"}},
+		}
+		a, err1 := Eval(r, q)
+		b, err2 := EvalTree(r, q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Equal(b, 1e-9) && b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalTreeUngrouped: the tree handles the single implicit group.
+func TestEvalTreeUngrouped(t *testing.T) {
+	q := Query{Aggs: []AggSpec{{Func: Sum, Attr: "Sal"}}}
+	a, _ := Eval(projRelation(), q)
+	b, err := EvalTree(projRelation(), q)
+	if err != nil {
+		t.Fatalf("EvalTree: %v", err)
+	}
+	if !a.Equal(b, 1e-9) {
+		t.Errorf("ungrouped tree differs:\n%v\nvs\n%v", b, a)
+	}
+}
+
+func BenchmarkEvalTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	schema := temporal.MustSchema(
+		temporal.Attribute{Name: "g", Kind: temporal.KindInt},
+		temporal.Attribute{Name: "v", Kind: temporal.KindFloat},
+	)
+	r := temporal.NewRelation(schema)
+	for i := 0; i < 20000; i++ {
+		start := temporal.Chronon(rng.Intn(50000))
+		r.MustAppend([]temporal.Datum{
+			temporal.Int(int64(rng.Intn(10))),
+			temporal.Float(rng.Float64() * 1000),
+		}, temporal.Interval{Start: start, End: start + temporal.Chronon(rng.Intn(100))})
+	}
+	q := Query{GroupBy: []string{"g"}, Aggs: []AggSpec{{Func: Avg, Attr: "v"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalTree(r, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package ita
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/temporal"
+)
+
+func TestEvalBucketsFigure1c(t *testing.T) {
+	for _, buckets := range []int{1, 2, 3, 8} {
+		got, err := EvalBuckets(projRelation(), avgSalQuery(), buckets, 0)
+		if err != nil {
+			t.Fatalf("EvalBuckets(%d): %v", buckets, err)
+		}
+		want, _ := Eval(projRelation(), avgSalQuery())
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("buckets=%d differs from sweep:\n%v\nvs\n%v", buckets, got, want)
+		}
+	}
+}
+
+func TestEvalBucketsValidation(t *testing.T) {
+	if _, err := EvalBuckets(projRelation(), avgSalQuery(), 0, 1); err == nil {
+		t.Error("zero buckets should fail")
+	}
+	if _, err := EvalBuckets(projRelation(), Query{}, 2, 1); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestEvalBucketsEmptyRelation(t *testing.T) {
+	r := temporal.NewRelation(temporal.MustSchema(temporal.Attribute{Name: "v", Kind: temporal.KindFloat}))
+	got, err := EvalBuckets(r, Query{Aggs: []AggSpec{{Func: Sum, Attr: "v"}}}, 4, 2)
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty relation: %d rows, %v", got.Len(), err)
+	}
+}
+
+// TestEvalBucketsPropMatchesSweep: the bucket decomposition must be
+// invisible — identical results for any bucket count and worker count,
+// all aggregate functions included.
+func TestEvalBucketsPropMatchesSweep(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := temporal.MustSchema(
+			temporal.Attribute{Name: "g", Kind: temporal.KindString},
+			temporal.Attribute{Name: "v", Kind: temporal.KindInt},
+		)
+		r := temporal.NewRelation(schema)
+		n := 1 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			start := temporal.Chronon(rng.Intn(40))
+			r.MustAppend([]temporal.Datum{
+				temporal.String(string(rune('A' + rng.Intn(3)))),
+				temporal.Int(int64(rng.Intn(32)) * 4),
+			}, temporal.Interval{Start: start, End: start + temporal.Chronon(rng.Intn(10))})
+		}
+		q := Query{
+			GroupBy: []string{"g"},
+			Aggs: []AggSpec{
+				{Func: Sum, Attr: "v"}, {Func: Count},
+				{Func: Min, Attr: "v"}, {Func: Max, Attr: "v"},
+			},
+		}
+		want, err := Eval(r, q)
+		if err != nil {
+			return false
+		}
+		for _, buckets := range []int{1, 2, 5, 16} {
+			got, err := EvalBuckets(r, q, buckets, 1+rng.Intn(4))
+			if err != nil {
+				return false
+			}
+			if !got.Equal(want, 1e-9) || got.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvalBucketsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	schema := temporal.MustSchema(
+		temporal.Attribute{Name: "g", Kind: temporal.KindInt},
+		temporal.Attribute{Name: "v", Kind: temporal.KindFloat},
+	)
+	r := temporal.NewRelation(schema)
+	for i := 0; i < 20000; i++ {
+		start := temporal.Chronon(rng.Intn(50000))
+		r.MustAppend([]temporal.Datum{
+			temporal.Int(int64(rng.Intn(10))),
+			temporal.Float(rng.Float64() * 1000),
+		}, temporal.Interval{Start: start, End: start + temporal.Chronon(rng.Intn(100))})
+	}
+	q := Query{GroupBy: []string{"g"}, Aggs: []AggSpec{{Func: Avg, Attr: "v"}, {Func: Max, Attr: "v"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBuckets(r, q, 16, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package ita implements instant temporal aggregation (ITA, Definition 1 of
+// the paper): for every aggregation group g and time instant t, the
+// aggregate functions are evaluated over all argument tuples of group g
+// whose timestamp contains t, and value-equivalent results over consecutive
+// instants are coalesced into rows over maximal intervals.
+//
+// The package offers a batch evaluator (Eval) and a streaming Iterator that
+// produces result rows one at a time in (group, time) order — the order the
+// greedy PTA algorithms consume while merging early.
+//
+// The sweep runs in O(n log n) time per aggregation group: sum, count and
+// avg are maintained incrementally, min and max with lazy-deletion heaps.
+package ita
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/temporal"
+)
+
+// Func enumerates the supported aggregate functions.
+type Func uint8
+
+const (
+	// Avg is the arithmetic mean of the attribute over the active tuples.
+	Avg Func = iota
+	// Sum is the sum of the attribute over the active tuples.
+	Sum
+	// Count is the number of active tuples (the attribute is ignored).
+	Count
+	// Min is the minimum attribute value over the active tuples.
+	Min
+	// Max is the maximum attribute value over the active tuples.
+	Max
+)
+
+// String returns the lower-case SQL-ish name of the function.
+func (f Func) String() string {
+	switch f {
+	case Avg:
+		return "avg"
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("func(%d)", uint8(f))
+}
+
+// ParseFunc is the inverse of Func.String.
+func ParseFunc(s string) (Func, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "avg", "mean":
+		return Avg, nil
+	case "sum":
+		return Sum, nil
+	case "count", "cnt":
+		return Count, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	}
+	return 0, fmt.Errorf("ita: unknown aggregate function %q", s)
+}
+
+// AggSpec is one aggregate function application fi/Bi: the function, the
+// input attribute it aggregates (empty for Count), and the name of the
+// output attribute (defaulted to "func_attr" when empty).
+type AggSpec struct {
+	Func Func
+	Attr string
+	As   string
+}
+
+// Name returns the output attribute name Bi.
+func (a AggSpec) Name() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Attr == "" {
+		return a.Func.String()
+	}
+	return a.Func.String() + "_" + a.Attr
+}
+
+// Query is an ITA query: grouping attributes A and aggregate functions F.
+type Query struct {
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// compiled holds a query resolved against a concrete schema.
+type compiled struct {
+	groupIdx []int
+	attrIdx  []int // -1 for Count without attribute
+	specs    []AggSpec
+}
+
+func compile(schema *temporal.Schema, q Query) (*compiled, error) {
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("ita: query needs at least one aggregate function")
+	}
+	groupIdx, err := schema.Indices(q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiled{groupIdx: groupIdx, specs: q.Aggs}
+	seen := make(map[string]bool, len(q.Aggs))
+	for _, a := range q.Aggs {
+		name := a.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("ita: duplicate output attribute %q", name)
+		}
+		seen[name] = true
+		if a.Attr == "" {
+			if a.Func != Count {
+				return nil, fmt.Errorf("ita: %v needs an input attribute", a.Func)
+			}
+			c.attrIdx = append(c.attrIdx, -1)
+			continue
+		}
+		idx, ok := schema.Index(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("ita: unknown attribute %q", a.Attr)
+		}
+		if k := schema.Attr(idx).Kind; a.Func != Count && k != temporal.KindInt && k != temporal.KindFloat {
+			return nil, fmt.Errorf("ita: attribute %q of kind %v is not numeric", a.Attr, k)
+		}
+		c.attrIdx = append(c.attrIdx, idx)
+	}
+	return c, nil
+}
+
+// resultMeta builds the empty result sequence (schema S of Definition 1).
+func (c *compiled) resultMeta(schema *temporal.Schema) *temporal.Sequence {
+	groupAttrs := make([]temporal.Attribute, len(c.groupIdx))
+	for i, gi := range c.groupIdx {
+		groupAttrs[i] = schema.Attr(gi)
+	}
+	names := make([]string, len(c.specs))
+	for i, a := range c.specs {
+		names[i] = a.Name()
+	}
+	return temporal.NewSequence(groupAttrs, names)
+}
+
+// Eval evaluates the ITA query over relation r and returns the full result
+// sequence.
+func Eval(r *temporal.Relation, q Query) (*temporal.Sequence, error) {
+	it, err := NewIterator(r, q)
+	if err != nil {
+		return nil, err
+	}
+	out := it.Sequence()
+	out.Rows = make([]temporal.SeqRow, 0, r.Len())
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

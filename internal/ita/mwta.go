@@ -1,0 +1,34 @@
+package ita
+
+import (
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// MWTA implements moving-window (cumulative) temporal aggregation
+// (Section 2.1; Navathe & Ahmed 1989, Yang & Widom 2003): the aggregate
+// value at instant t is computed over all tuples of the group that hold
+// anywhere in the window [t−before, t+after], and value-equivalent results
+// over consecutive instants are coalesced. With before = after = 0 MWTA
+// degenerates to ITA.
+//
+// Like ITA, MWTA's result can be up to twice the input size — it is the
+// second member of the "most detailed result" family that PTA compresses.
+func MWTA(r *temporal.Relation, q Query, before, after int64) (*temporal.Sequence, error) {
+	if before < 0 || after < 0 {
+		return nil, fmt.Errorf("ita: negative window (before=%d, after=%d)", before, after)
+	}
+	// A tuple with timestamp [s, e] intersects the window around t iff
+	// s − after ≤ t ≤ e + before: widening every tuple by (after, before)
+	// and running the plain ITA sweep yields exactly the MWTA semantics.
+	widened := temporal.NewRelation(r.Schema())
+	for i := 0; i < r.Len(); i++ {
+		tp := r.Tuple(i)
+		iv := temporal.Interval{Start: tp.T.Start - after, End: tp.T.End + before}
+		if err := widened.Append(tp.Vals, iv); err != nil {
+			return nil, fmt.Errorf("ita: widening tuple %d: %v", i, err)
+		}
+	}
+	return Eval(widened, q)
+}

@@ -1,0 +1,111 @@
+package ita
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/temporal"
+)
+
+// TestMWTAZeroWindowEqualsITA: with before = after = 0 the two operators
+// coincide (Section 2.1).
+func TestMWTAZeroWindowEqualsITA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := temporal.MustSchema(
+			temporal.Attribute{Name: "g", Kind: temporal.KindString},
+			temporal.Attribute{Name: "v", Kind: temporal.KindInt},
+		)
+		r := temporal.NewRelation(schema)
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			start := temporal.Chronon(rng.Intn(15))
+			r.MustAppend([]temporal.Datum{
+				temporal.String(string(rune('A' + rng.Intn(2)))),
+				temporal.Int(int64(rng.Intn(50))),
+			}, temporal.Interval{Start: start, End: start + temporal.Chronon(rng.Intn(4))})
+		}
+		q := Query{GroupBy: []string{"g"}, Aggs: []AggSpec{{Func: Sum, Attr: "v"}, {Func: Count}}}
+		a, err1 := Eval(r, q)
+		b, err2 := MWTA(r, q, 0, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Equal(b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMWTAWindowExample: a hand-computed moving window.
+func TestMWTAWindowExample(t *testing.T) {
+	schema := temporal.MustSchema(temporal.Attribute{Name: "v", Kind: temporal.KindFloat})
+	r := temporal.NewRelation(schema)
+	r.MustAppend([]temporal.Datum{temporal.Float(10)}, temporal.Interval{Start: 0, End: 0})
+	r.MustAppend([]temporal.Datum{temporal.Float(30)}, temporal.Interval{Start: 4, End: 4})
+	q := Query{Aggs: []AggSpec{{Func: Avg, Attr: "v"}}}
+
+	// Window [t−2, t]: the tuple at 0 is visible for t ∈ [0,2], the tuple
+	// at 4 for t ∈ [4,6]; no overlap between their visibility ranges.
+	res, err := MWTA(r, q, 2, 0)
+	if err != nil {
+		t.Fatalf("MWTA: %v", err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%v", res.Len(), res)
+	}
+	if res.Rows[0].T != (temporal.Interval{Start: 0, End: 2}) || res.Rows[0].Aggs[0] != 10 {
+		t.Errorf("row 0 = %+v", res.Rows[0])
+	}
+	if res.Rows[1].T != (temporal.Interval{Start: 4, End: 6}) || res.Rows[1].Aggs[0] != 30 {
+		t.Errorf("row 1 = %+v", res.Rows[1])
+	}
+
+	// A symmetric window [t−2, t+2] makes both tuples visible at t = 2:
+	// avg(10, 30) = 20 there.
+	res, err = MWTA(r, q, 2, 2)
+	if err != nil {
+		t.Fatalf("MWTA: %v", err)
+	}
+	var at2 *temporal.SeqRow
+	for i := range res.Rows {
+		if res.Rows[i].T.Contains(2) {
+			at2 = &res.Rows[i]
+		}
+	}
+	if at2 == nil || at2.Aggs[0] != 20 {
+		t.Fatalf("window at t=2 should average both tuples: %v", res)
+	}
+}
+
+func TestMWTAValidation(t *testing.T) {
+	schema := temporal.MustSchema(temporal.Attribute{Name: "v", Kind: temporal.KindFloat})
+	r := temporal.NewRelation(schema)
+	r.MustAppend([]temporal.Datum{temporal.Float(1)}, temporal.Interval{Start: 0, End: 0})
+	q := Query{Aggs: []AggSpec{{Func: Avg, Attr: "v"}}}
+	if _, err := MWTA(r, q, -1, 0); err == nil {
+		t.Error("negative window should fail")
+	}
+	if _, err := MWTA(r, Query{}, 0, 0); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+// TestMWTAFeedsPTA: the MWTA result is a sequential relation, so PTA
+// machinery applies unchanged.
+func TestMWTAFeedsPTA(t *testing.T) {
+	schema := temporal.MustSchema(temporal.Attribute{Name: "v", Kind: temporal.KindFloat})
+	r := temporal.NewRelation(schema)
+	for i := 0; i < 20; i++ {
+		r.MustAppend([]temporal.Datum{temporal.Float(float64(i % 5))},
+			temporal.Interval{Start: temporal.Chronon(i), End: temporal.Chronon(i + 2)})
+	}
+	res, err := MWTA(r, Query{Aggs: []AggSpec{{Func: Max, Attr: "v"}}}, 1, 1)
+	if err != nil {
+		t.Fatalf("MWTA: %v", err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("MWTA result not sequential: %v", err)
+	}
+}

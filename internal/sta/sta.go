@@ -1,0 +1,179 @@
+// Package sta implements span temporal aggregation (STA, Section 1/2.1 of
+// the paper): the query specifies the time intervals (spans) for which
+// result tuples are reported; for every aggregation group and span, the
+// aggregate functions are evaluated over all argument tuples that overlap
+// the span.
+//
+// STA's result size is predictable (one tuple per non-empty group × span),
+// but unlike ITA and PTA it ignores the distribution of the data — it is
+// implemented here as the contrast baseline the paper motivates PTA against.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ita"
+	"repro/internal/temporal"
+)
+
+// Spans partitions [from, to] into consecutive intervals of the given width
+// (the last span is truncated at to). It is the usual way STA queries
+// express granularities such as "each trimester".
+func Spans(from, to temporal.Chronon, width int64) ([]temporal.Interval, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("sta: span width must be positive, got %d", width)
+	}
+	if from > to {
+		return nil, fmt.Errorf("sta: empty span range [%d, %d]", from, to)
+	}
+	var out []temporal.Interval
+	for s := from; s <= to; s += width {
+		e := min(s+width-1, to)
+		out = append(out, temporal.Interval{Start: s, End: e})
+	}
+	return out, nil
+}
+
+// Eval evaluates the STA query over relation r for the given spans. Spans
+// must be pairwise disjoint and sorted; each result row's timestamp is the
+// span it reports on. Groups with no overlapping tuples in a span produce no
+// row for that span.
+func Eval(r *temporal.Relation, q ita.Query, spans []temporal.Interval) (*temporal.Sequence, error) {
+	for i, sp := range spans {
+		if !sp.Valid() {
+			return nil, fmt.Errorf("sta: span %d is invalid: %v", i, sp)
+		}
+		if i > 0 && spans[i-1].End >= sp.Start {
+			return nil, fmt.Errorf("sta: spans %d and %d overlap or are unsorted", i-1, i)
+		}
+	}
+	// Reuse ITA's query compilation by evaluating it against the schema; we
+	// only need the resolved indices and result metadata, so compile via a
+	// throwaway iterator on an empty clone of the schema-bearing relation.
+	plan, err := newPlan(r, q)
+	if err != nil {
+		return nil, err
+	}
+	out := plan.meta
+
+	for _, gid := range out.Groups.SortedIDs() {
+		tuples := plan.byGroup[gid]
+		for _, span := range spans {
+			var member []temporal.Tuple
+			for _, tp := range tuples {
+				if tp.T.Overlaps(span) {
+					member = append(member, tp)
+				}
+			}
+			if len(member) == 0 {
+				continue
+			}
+			aggs := make([]float64, len(plan.specs))
+			for d := range plan.specs {
+				aggs[d] = aggregate(plan.specs[d].Func, plan.attrIdx[d], member)
+			}
+			out.Rows = append(out.Rows, temporal.SeqRow{Group: gid, Aggs: aggs, T: span})
+		}
+	}
+	return out, nil
+}
+
+// plan is the compiled form of an STA query: resolved attribute indices and
+// the argument tuples partitioned by aggregation group.
+type plan struct {
+	meta    *temporal.Sequence
+	specs   []ita.AggSpec
+	attrIdx []int
+	byGroup map[int32][]temporal.Tuple
+}
+
+func newPlan(r *temporal.Relation, q ita.Query) (*plan, error) {
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("sta: query needs at least one aggregate function")
+	}
+	schema := r.Schema()
+	groupIdx, err := schema.Indices(q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{specs: q.Aggs, byGroup: make(map[int32][]temporal.Tuple)}
+	groupAttrs := make([]temporal.Attribute, len(groupIdx))
+	for i, gi := range groupIdx {
+		groupAttrs[i] = schema.Attr(gi)
+	}
+	names := make([]string, len(q.Aggs))
+	seen := make(map[string]bool)
+	for i, a := range q.Aggs {
+		names[i] = a.Name()
+		if seen[names[i]] {
+			return nil, fmt.Errorf("sta: duplicate output attribute %q", names[i])
+		}
+		seen[names[i]] = true
+		if a.Attr == "" {
+			if a.Func != ita.Count {
+				return nil, fmt.Errorf("sta: %v needs an input attribute", a.Func)
+			}
+			p.attrIdx = append(p.attrIdx, -1)
+			continue
+		}
+		idx, ok := schema.Index(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("sta: unknown attribute %q", a.Attr)
+		}
+		if k := schema.Attr(idx).Kind; a.Func != ita.Count && k != temporal.KindInt && k != temporal.KindFloat {
+			return nil, fmt.Errorf("sta: attribute %q of kind %v is not numeric", a.Attr, k)
+		}
+		p.attrIdx = append(p.attrIdx, idx)
+	}
+	p.meta = temporal.NewSequence(groupAttrs, names)
+
+	gvals := make([]temporal.Datum, len(groupIdx))
+	for i := 0; i < r.Len(); i++ {
+		tp := r.Tuple(i)
+		for gi, idx := range groupIdx {
+			gvals[gi] = tp.Vals[idx]
+		}
+		id := p.meta.Groups.Intern(gvals)
+		p.byGroup[id] = append(p.byGroup[id], tp)
+	}
+	return p, nil
+}
+
+func aggregate(f ita.Func, attrIdx int, member []temporal.Tuple) float64 {
+	if f == ita.Count {
+		return float64(len(member))
+	}
+	vals := make([]float64, len(member))
+	for i, tp := range member {
+		v, _ := tp.Vals[attrIdx].Numeric()
+		vals[i] = v
+	}
+	switch f {
+	case ita.Sum:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case ita.Avg:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case ita.Min:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			m = math.Min(m, v)
+		}
+		return m
+	case ita.Max:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			m = math.Max(m, v)
+		}
+		return m
+	}
+	panic("sta: unknown aggregate function")
+}

@@ -1,0 +1,142 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ita"
+	"repro/internal/temporal"
+)
+
+func projRelation() *temporal.Relation {
+	s := temporal.MustSchema(
+		temporal.Attribute{Name: "Empl", Kind: temporal.KindString},
+		temporal.Attribute{Name: "Proj", Kind: temporal.KindString},
+		temporal.Attribute{Name: "Sal", Kind: temporal.KindFloat},
+	)
+	r := temporal.NewRelation(s)
+	add := func(e, p string, sal float64, a, b temporal.Chronon) {
+		r.MustAppend([]temporal.Datum{temporal.String(e), temporal.String(p), temporal.Float(sal)},
+			temporal.Interval{Start: a, End: b})
+	}
+	add("John", "A", 800, 1, 4)
+	add("Ann", "A", 400, 3, 6)
+	add("Tom", "A", 300, 4, 7)
+	add("John", "B", 500, 4, 5)
+	add("John", "B", 500, 7, 8)
+	return r
+}
+
+func TestSpans(t *testing.T) {
+	got, err := Spans(1, 8, 4)
+	if err != nil {
+		t.Fatalf("Spans: %v", err)
+	}
+	want := []temporal.Interval{{Start: 1, End: 4}, {Start: 5, End: 8}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Spans = %v, want %v", got, want)
+	}
+	// Truncated last span.
+	got, _ = Spans(1, 7, 3)
+	if len(got) != 3 || got[2] != (temporal.Interval{Start: 7, End: 7}) {
+		t.Errorf("Spans(1,7,3) = %v", got)
+	}
+	if _, err := Spans(1, 8, 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := Spans(8, 1, 2); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+// TestEvalFigure1b checks the STA result of the running example ("average
+// monthly salary per project and trimester") against Fig. 1(b).
+func TestEvalFigure1b(t *testing.T) {
+	spans, _ := Spans(1, 8, 4)
+	q := ita.Query{GroupBy: []string{"Proj"}, Aggs: []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}}}
+	got, err := Eval(projRelation(), q, spans)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	type want struct {
+		proj string
+		avg  float64
+		iv   temporal.Interval
+	}
+	wants := []want{
+		{"A", 500, temporal.Interval{Start: 1, End: 4}},
+		{"A", 350, temporal.Interval{Start: 5, End: 8}},
+		{"B", 500, temporal.Interval{Start: 1, End: 4}},
+		{"B", 500, temporal.Interval{Start: 5, End: 8}},
+	}
+	if got.Len() != len(wants) {
+		t.Fatalf("STA result has %d rows, want %d:\n%v", got.Len(), len(wants), got)
+	}
+	for i, w := range wants {
+		r := got.Rows[i]
+		if g := got.Groups.Values(r.Group)[0].Text(); g != w.proj {
+			t.Errorf("row %d group = %q, want %q", i, g, w.proj)
+		}
+		if math.Abs(r.Aggs[0]-w.avg) > 1e-9 {
+			t.Errorf("row %d avg = %v, want %v", i, r.Aggs[0], w.avg)
+		}
+		if r.T != w.iv {
+			t.Errorf("row %d interval = %v, want %v", i, r.T, w.iv)
+		}
+	}
+}
+
+func TestEvalAllFunctions(t *testing.T) {
+	spans := []temporal.Interval{{Start: 1, End: 8}}
+	q := ita.Query{Aggs: []ita.AggSpec{
+		{Func: ita.Min, Attr: "Sal"},
+		{Func: ita.Max, Attr: "Sal"},
+		{Func: ita.Sum, Attr: "Sal"},
+		{Func: ita.Count},
+		{Func: ita.Avg, Attr: "Sal"},
+	}}
+	got, err := Eval(projRelation(), q, spans)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	a := got.Rows[0].Aggs
+	if a[0] != 300 || a[1] != 800 || a[2] != 2500 || a[3] != 5 || a[4] != 500 {
+		t.Errorf("aggregates = %v, want [300 800 2500 5 500]", a)
+	}
+}
+
+func TestEvalEmptySpanProducesNoRow(t *testing.T) {
+	spans := []temporal.Interval{{Start: 100, End: 200}}
+	q := ita.Query{Aggs: []ita.AggSpec{{Func: ita.Count}}}
+	got, err := Eval(projRelation(), q, spans)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("expected no rows, got %d", got.Len())
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	q := ita.Query{Aggs: []ita.AggSpec{{Func: ita.Count}}}
+	if _, err := Eval(projRelation(), q, []temporal.Interval{{Start: 5, End: 2}}); err == nil {
+		t.Error("invalid span should fail")
+	}
+	if _, err := Eval(projRelation(), q, []temporal.Interval{{Start: 1, End: 4}, {Start: 3, End: 6}}); err == nil {
+		t.Error("overlapping spans should fail")
+	}
+	if _, err := Eval(projRelation(), ita.Query{}, nil); err == nil {
+		t.Error("query without aggregates should fail")
+	}
+	bad := ita.Query{Aggs: []ita.AggSpec{{Func: ita.Avg, Attr: "Empl"}}}
+	if _, err := Eval(projRelation(), bad, nil); err == nil {
+		t.Error("non-numeric aggregate should fail")
+	}
+	badGroup := ita.Query{GroupBy: []string{"Zip"}, Aggs: []ita.AggSpec{{Func: ita.Count}}}
+	if _, err := Eval(projRelation(), badGroup, nil); err == nil {
+		t.Error("unknown grouping attribute should fail")
+	}
+}

@@ -1,0 +1,203 @@
+package temporal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the attribute domains supported by the relational model.
+type Kind uint8
+
+const (
+	// KindString is the domain of free-form text values.
+	KindString Kind = iota
+	// KindInt is the domain of 64-bit signed integers.
+	KindInt
+	// KindFloat is the domain of IEEE-754 double precision numbers.
+	KindFloat
+)
+
+// String returns the lower-case name of the kind ("string", "int", "float").
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "string", "str", "text":
+		return KindString, nil
+	case "int", "integer":
+		return KindInt, nil
+	case "float", "double", "real":
+		return KindFloat, nil
+	}
+	return 0, fmt.Errorf("temporal: unknown kind %q", s)
+}
+
+// Datum is one attribute value: a string, an integer, or a float. The zero
+// value is the empty string.
+type Datum struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+}
+
+// String returns a datum of kind KindString.
+func String(s string) Datum { return Datum{kind: KindString, s: s} }
+
+// Int returns a datum of kind KindInt.
+func Int(i int64) Datum { return Datum{kind: KindInt, i: i} }
+
+// Float returns a datum of kind KindFloat.
+func Float(f float64) Datum { return Datum{kind: KindFloat, f: f} }
+
+// Kind returns the domain the datum belongs to.
+func (d Datum) Kind() Kind { return d.kind }
+
+// Text returns the string payload. It is only meaningful for KindString.
+func (d Datum) Text() string { return d.s }
+
+// IntVal returns the integer payload. It is only meaningful for KindInt.
+func (d Datum) IntVal() int64 { return d.i }
+
+// FloatVal returns the float payload. It is only meaningful for KindFloat.
+func (d Datum) FloatVal() float64 { return d.f }
+
+// Numeric returns the datum as a float64 and reports whether the datum is
+// numeric (KindInt or KindFloat). Aggregate functions operate on numeric
+// attributes only.
+func (d Datum) Numeric() (float64, bool) {
+	switch d.kind {
+	case KindInt:
+		return float64(d.i), true
+	case KindFloat:
+		return d.f, true
+	}
+	return 0, false
+}
+
+// Equal reports whether two datums have the same kind and payload.
+func (d Datum) Equal(o Datum) bool {
+	if d.kind != o.kind {
+		return false
+	}
+	switch d.kind {
+	case KindString:
+		return d.s == o.s
+	case KindInt:
+		return d.i == o.i
+	default:
+		return d.f == o.f
+	}
+}
+
+// Compare orders datums first by kind, then by payload. It returns a
+// negative number, zero, or a positive number.
+func (d Datum) Compare(o Datum) int {
+	if d.kind != o.kind {
+		return int(d.kind) - int(o.kind)
+	}
+	switch d.kind {
+	case KindString:
+		return strings.Compare(d.s, o.s)
+	case KindInt:
+		switch {
+		case d.i < o.i:
+			return -1
+		case d.i > o.i:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case d.f < o.f:
+			return -1
+		case d.f > o.f:
+			return 1
+		}
+		return 0
+	}
+}
+
+// String renders the payload; integers and floats use their canonical Go
+// decimal representation.
+func (d Datum) String() string {
+	switch d.kind {
+	case KindString:
+		return d.s
+	case KindInt:
+		return strconv.FormatInt(d.i, 10)
+	default:
+		return strconv.FormatFloat(d.f, 'g', -1, 64)
+	}
+}
+
+// ParseDatum parses text into a datum of the requested kind.
+func ParseDatum(k Kind, text string) (Datum, error) {
+	switch k {
+	case KindString:
+		return String(text), nil
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return Datum{}, fmt.Errorf("temporal: parsing %q as int: %v", text, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+		if err != nil {
+			return Datum{}, fmt.Errorf("temporal: parsing %q as float: %v", text, err)
+		}
+		return Float(f), nil
+	}
+	return Datum{}, fmt.Errorf("temporal: unknown kind %d", k)
+}
+
+// DatumsEqual reports element-wise equality of two datum slices.
+func DatumsEqual(a, b []Datum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareDatums orders datum slices lexicographically.
+func CompareDatums(a, b []Datum) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// encodeKey builds an injective string encoding of a datum slice, used as a
+// map key by the group dictionary. Payloads are length-prefixed so that no
+// two distinct slices collide.
+func encodeKey(vals []Datum) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		s := v.String()
+		sb.WriteByte(byte('0' + v.Kind()))
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}

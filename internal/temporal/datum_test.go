@@ -1,0 +1,124 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumKinds(t *testing.T) {
+	if String("x").Kind() != KindString || Int(3).Kind() != KindInt || Float(1.5).Kind() != KindFloat {
+		t.Fatal("constructor kinds wrong")
+	}
+}
+
+func TestDatumNumeric(t *testing.T) {
+	if v, ok := Int(7).Numeric(); !ok || v != 7 {
+		t.Errorf("Int(7).Numeric() = %v, %v", v, ok)
+	}
+	if v, ok := Float(2.5).Numeric(); !ok || v != 2.5 {
+		t.Errorf("Float(2.5).Numeric() = %v, %v", v, ok)
+	}
+	if _, ok := String("a").Numeric(); ok {
+		t.Error("strings are not numeric")
+	}
+}
+
+func TestDatumEqualCompare(t *testing.T) {
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Error("string equality broken")
+	}
+	if String("1").Equal(Int(1)) {
+		t.Error("cross-kind datums must not be equal")
+	}
+	if Int(1).Compare(Int(2)) >= 0 || Float(2).Compare(Float(1)) <= 0 {
+		t.Error("numeric compare broken")
+	}
+	if String("a").Compare(String("a")) != 0 {
+		t.Error("equal strings should compare 0")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	for _, tc := range []struct {
+		d    Datum
+		want string
+	}{
+		{String("hi"), "hi"},
+		{Int(-4), "-4"},
+		{Float(2.5), "2.5"},
+	} {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{{"string", KindString}, {"INT", KindInt}, {"float", KindFloat}, {"double", KindFloat}} {
+		got, err := ParseKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) should fail")
+	}
+}
+
+func TestParseDatumRoundTrip(t *testing.T) {
+	for _, d := range []Datum{String("abc"), Int(42), Float(3.25)} {
+		got, err := ParseDatum(d.Kind(), d.String())
+		if err != nil {
+			t.Fatalf("ParseDatum(%v, %q): %v", d.Kind(), d.String(), err)
+		}
+		if !got.Equal(d) {
+			t.Errorf("round trip of %v produced %v", d, got)
+		}
+	}
+	if _, err := ParseDatum(KindInt, "x"); err == nil {
+		t.Error("ParseDatum(int, x) should fail")
+	}
+	if _, err := ParseDatum(KindFloat, "x"); err == nil {
+		t.Error("ParseDatum(float, x) should fail")
+	}
+}
+
+func TestCompareDatums(t *testing.T) {
+	a := []Datum{String("a"), Int(1)}
+	b := []Datum{String("a"), Int(2)}
+	if CompareDatums(a, b) >= 0 || CompareDatums(b, a) <= 0 || CompareDatums(a, a) != 0 {
+		t.Error("CompareDatums ordering broken")
+	}
+	if CompareDatums(a, a[:1]) <= 0 {
+		t.Error("longer slice with equal prefix should sort after")
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	// Classic collision trap for naive separators: ("a:b") vs ("a", "b").
+	k1 := encodeKey([]Datum{String("a:b")})
+	k2 := encodeKey([]Datum{String("a"), String("b")})
+	if k1 == k2 {
+		t.Error("encodeKey collided on nested separators")
+	}
+	k3 := encodeKey([]Datum{String("1")})
+	k4 := encodeKey([]Datum{Int(1)})
+	if k3 == k4 {
+		t.Error("encodeKey collided across kinds")
+	}
+}
+
+func TestEncodeKeyPropInjective(t *testing.T) {
+	f := func(a, b string, x, y int64) bool {
+		k1 := encodeKey([]Datum{String(a), Int(x)})
+		k2 := encodeKey([]Datum{String(b), Int(y)})
+		same := a == b && x == y
+		return (k1 == k2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

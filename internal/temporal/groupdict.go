@@ -1,0 +1,70 @@
+package temporal
+
+import "sort"
+
+// GroupDict is a dictionary encoding of aggregation-group values. Sequential
+// relations store a compact int32 group id per row; the dictionary maps ids
+// back to the grouping attribute values they stand for.
+type GroupDict struct {
+	byKey map[string]int32
+	vals  [][]Datum
+}
+
+// NewGroupDict returns an empty dictionary.
+func NewGroupDict() *GroupDict {
+	return &GroupDict{byKey: make(map[string]int32)}
+}
+
+// Intern returns the id of the group with the given attribute values,
+// assigning a fresh id on first sight. The value slice is copied.
+func (g *GroupDict) Intern(vals []Datum) int32 {
+	key := encodeKey(vals)
+	if id, ok := g.byKey[key]; ok {
+		return id
+	}
+	id := int32(len(g.vals))
+	g.byKey[key] = id
+	g.vals = append(g.vals, append([]Datum(nil), vals...))
+	return id
+}
+
+// Lookup returns the id of the group with the given values, if present.
+func (g *GroupDict) Lookup(vals []Datum) (int32, bool) {
+	id, ok := g.byKey[encodeKey(vals)]
+	return id, ok
+}
+
+// Values returns the attribute values of group id. Callers must not mutate
+// the returned slice.
+func (g *GroupDict) Values(id int32) []Datum { return g.vals[id] }
+
+// Len returns the number of distinct groups.
+func (g *GroupDict) Len() int { return len(g.vals) }
+
+// SortedIDs returns all group ids ordered by their attribute values. The
+// order is the canonical group order of sequential relations.
+func (g *GroupDict) SortedIDs() []int32 {
+	ids := make([]int32, len(g.vals))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return CompareDatums(g.vals[ids[a]], g.vals[ids[b]]) < 0
+	})
+	return ids
+}
+
+// Clone returns a deep copy of the dictionary.
+func (g *GroupDict) Clone() *GroupDict {
+	out := &GroupDict{
+		byKey: make(map[string]int32, len(g.byKey)),
+		vals:  make([][]Datum, len(g.vals)),
+	}
+	for k, v := range g.byKey {
+		out.byKey[k] = v
+	}
+	for i, v := range g.vals {
+		out.vals[i] = append([]Datum(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package temporal
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func projSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "Empl", Kind: KindString},
+		Attribute{Name: "Proj", Kind: KindString},
+		Attribute{Name: "Sal", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := projSchema(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("Proj"); !ok || i != 1 {
+		t.Errorf("Index(Proj) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("Nope"); ok {
+		t.Error("Index(Nope) should not exist")
+	}
+	idx, err := s.Indices([]string{"Sal", "Empl"})
+	if err != nil || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("Indices = %v, %v", idx, err)
+	}
+	if _, err := s.Indices([]string{"Nope"}); err == nil {
+		t.Error("Indices(Nope) should fail")
+	}
+	if got := s.String(); got != "(Empl:string, Proj:string, Sal:float, T)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(Attribute{Name: "", Kind: KindInt}); err == nil {
+		t.Error("empty attribute name should fail")
+	}
+	if _, err := NewSchema(Attribute{Name: "a"}, Attribute{Name: "a"}); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+}
+
+func TestRelationAppendValidation(t *testing.T) {
+	r := NewRelation(projSchema(t))
+	if err := r.Append([]Datum{String("John"), String("A")}, Interval{1, 4}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := r.Append([]Datum{String("John"), String("A"), String("800")}, Interval{1, 4}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if err := r.Append([]Datum{String("John"), String("A"), Float(800)}, Interval{4, 1}); err == nil {
+		t.Error("invalid interval should fail")
+	}
+	if err := r.Append([]Datum{String("John"), String("A"), Float(800)}, Interval{1, 4}); err != nil {
+		t.Errorf("valid append failed: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRelationTimeSpan(t *testing.T) {
+	r := NewRelation(projSchema(t))
+	if _, ok := r.TimeSpan(); ok {
+		t.Error("empty relation should have no time span")
+	}
+	r.MustAppend([]Datum{String("a"), String("A"), Float(1)}, Interval{3, 6})
+	r.MustAppend([]Datum{String("b"), String("B"), Float(2)}, Interval{1, 2})
+	span, ok := r.TimeSpan()
+	if !ok || span != (Interval{1, 6}) {
+		t.Errorf("TimeSpan = %v, %v", span, ok)
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := NewRelation(projSchema(t))
+	r.MustAppend([]Datum{String("a"), String("A"), Float(1)}, Interval{1, 2})
+	c := r.Clone()
+	c.MustAppend([]Datum{String("b"), String("B"), Float(2)}, Interval{3, 4})
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("clone is not independent")
+	}
+}
+
+func TestCoalesceMergesValueEquivalent(t *testing.T) {
+	s := MustSchema(Attribute{Name: "k", Kind: KindString})
+	r := NewRelation(s)
+	r.MustAppend([]Datum{String("x")}, Interval{1, 3})
+	r.MustAppend([]Datum{String("x")}, Interval{4, 6}) // meets
+	r.MustAppend([]Datum{String("x")}, Interval{5, 8}) // overlaps
+	r.MustAppend([]Datum{String("x")}, Interval{10, 12})
+	r.MustAppend([]Datum{String("y")}, Interval{2, 4})
+	got := Coalesce(r)
+	want := NewRelation(s)
+	want.MustAppend([]Datum{String("x")}, Interval{1, 8})
+	want.MustAppend([]Datum{String("x")}, Interval{10, 12})
+	want.MustAppend([]Datum{String("y")}, Interval{2, 4})
+	if !got.Equal(want) {
+		t.Errorf("Coalesce produced:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestCoalescePropIdempotent(t *testing.T) {
+	s := MustSchema(Attribute{Name: "k", Kind: KindInt})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRelation(s)
+		for i := 0; i < 12; i++ {
+			start := Chronon(rng.Intn(20))
+			r.MustAppend([]Datum{Int(int64(rng.Intn(3)))},
+				Interval{start, start + Chronon(rng.Intn(5))})
+		}
+		once := Coalesce(r)
+		twice := Coalesce(once)
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescePropPreservesCover(t *testing.T) {
+	// Every (value, chronon) pair covered before coalescing must be covered
+	// after, and vice versa.
+	s := MustSchema(Attribute{Name: "k", Kind: KindInt})
+	cover := func(r *Relation) map[[2]int64]bool {
+		m := make(map[[2]int64]bool)
+		for i := 0; i < r.Len(); i++ {
+			tp := r.Tuple(i)
+			for c := tp.T.Start; c <= tp.T.End; c++ {
+				m[[2]int64{tp.Vals[0].IntVal(), c}] = true
+			}
+		}
+		return m
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRelation(s)
+		for i := 0; i < 10; i++ {
+			start := Chronon(rng.Intn(15))
+			r.MustAppend([]Datum{Int(int64(rng.Intn(2)))},
+				Interval{start, start + Chronon(rng.Intn(4))})
+		}
+		before, after := cover(r), cover(Coalesce(r))
+		if len(before) != len(after) {
+			return false
+		}
+		for k := range before {
+			if !after[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := NewRelation(projSchema(t))
+	r.MustAppend([]Datum{String("John"), String("A"), Float(800)}, Interval{1, 4})
+	got := r.String()
+	if !strings.Contains(got, "John, A, 800, [1, 4]") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+package temporal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column of a relation schema. The timestamp
+// attribute T is implicit and not listed among the attributes.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// String renders the attribute as "name:kind".
+func (a Attribute) String() string { return a.Name + ":" + a.Kind.String() }
+
+// Schema is a temporal relation schema R = (A1, ..., Am, T): an ordered list
+// of explicit attributes plus the implicit timestamp attribute.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be non-empty and unique.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs: append([]Attribute(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+	}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("temporal: schema attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("temporal: duplicate schema attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in tests and examples.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of explicit (non-timestamp) attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Indices resolves a list of attribute names to positions. It reports an
+// error naming the first unknown attribute.
+func (s *Schema) Indices(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("temporal: unknown attribute %q", n)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// String renders the schema as "(a:string, b:float, T)".
+func (s *Schema) String() string {
+	parts := make([]string, 0, len(s.attrs)+1)
+	for _, a := range s.attrs {
+		parts = append(parts, a.String())
+	}
+	parts = append(parts, "T")
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,207 @@
+// Package tsdist implements the distance machinery of the similarity-search
+// application that motivates PTA (Section 1.1: "similarity search for
+// classification and clustering, where the fine-grained result of ITA is too
+// large to handle"): Euclidean distance between step-function sequences, and
+// the lower-bounding distances of the PAA and SAX representations (Keogh &
+// Pazzani 2000; Lin et al. 2007) that make index-based search admissible.
+//
+// The lower-bounding property — the representation distance never exceeds
+// the true Euclidean distance — is what guarantees no false dismissals in
+// similarity search; it is property-tested in this package.
+package tsdist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/approx"
+	"repro/internal/temporal"
+)
+
+// Euclidean returns the L2 distance between two equal-length series.
+func Euclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("tsdist: series lengths differ: %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// SequenceEuclidean computes the Euclidean distance between two single-group
+// sequential relations over their common time span, treating each row's
+// value as holding at every chronon of its interval — the step-function view
+// under which a PTA result approximates its ITA original. Chronons covered
+// by only one of the sequences contribute that value against zero.
+func SequenceEuclidean(a, b *temporal.Sequence, dim int) (float64, error) {
+	if dim < 0 || dim >= a.P() || dim >= b.P() {
+		return 0, fmt.Errorf("tsdist: dimension %d out of range", dim)
+	}
+	// Collect the union of breakpoints: row starts and the instants right
+	// after row ends. Between consecutive breakpoints both step functions
+	// are constant.
+	pointSet := make(map[temporal.Chronon]bool, 2*(a.Len()+b.Len()))
+	for _, r := range a.Rows {
+		pointSet[r.T.Start] = true
+		pointSet[r.T.End+1] = true
+	}
+	for _, r := range b.Rows {
+		pointSet[r.T.Start] = true
+		pointSet[r.T.End+1] = true
+	}
+	points := make([]temporal.Chronon, 0, len(pointSet))
+	for pt := range pointSet {
+		points = append(points, pt)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+
+	var sum float64
+	ai, bi := 0, 0
+	for k := 0; k+1 < len(points); k++ {
+		cur, next := points[k], points[k+1]
+		for ai < a.Len() && a.Rows[ai].T.End < cur {
+			ai++
+		}
+		for bi < b.Len() && b.Rows[bi].T.End < cur {
+			bi++
+		}
+		va, oka := valueAt(a, ai, cur, dim)
+		vb, okb := valueAt(b, bi, cur, dim)
+		if oka || okb {
+			d := va - vb
+			sum += float64(next-cur) * d * d
+		}
+	}
+	return math.Sqrt(sum), nil
+}
+
+func valueAt(s *temporal.Sequence, idx int, t temporal.Chronon, dim int) (float64, bool) {
+	if idx < s.Len() && s.Rows[idx].T.Contains(t) {
+		return s.Rows[idx].Aggs[dim], true
+	}
+	return 0, false
+}
+
+// PAADistance is the lower-bounding distance between the PAA
+// representations of two series of length n reduced to c segments:
+//
+//	LB(a, b) = sqrt( Σ_k len_k · (ā_k − b̄_k)² ) ≤ Euclidean(a, b).
+func PAADistance(a, b []float64, c int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("tsdist: series lengths differ: %d vs %d", len(a), len(b))
+	}
+	sa, err := approx.PAA(a, c, 0)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := approx.PAA(b, c, 0)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for k := range sa {
+		d := sa[k].Vals[0] - sb[k].Vals[0]
+		sum += float64(sa[k].T.Len()) * d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// SAXMinDist is the MINDIST of Lin et al.: a lower bound of the Euclidean
+// distance between the *z-normalized* series, computed from their SAX words
+// alone. Words must agree in length and alphabet.
+func SAXMinDist(a, b *approx.SAXWord) (float64, error) {
+	if len(a.Symbols) != len(b.Symbols) {
+		return 0, fmt.Errorf("tsdist: word lengths differ: %d vs %d", len(a.Symbols), len(b.Symbols))
+	}
+	if len(a.Breakpoints) != len(b.Breakpoints) {
+		return 0, fmt.Errorf("tsdist: alphabet sizes differ")
+	}
+	if a.N != b.N {
+		return 0, fmt.Errorf("tsdist: series lengths differ: %d vs %d", a.N, b.N)
+	}
+	bps := a.Breakpoints
+	cellDist := func(r, c int) float64 {
+		if abs(r-c) <= 1 {
+			return 0
+		}
+		hi, lo := r, c
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		return bps[hi-1] - bps[lo]
+	}
+	var sum float64
+	for k := range a.Symbols {
+		d := cellDist(int(a.Symbols[k]-'a'), int(b.Symbols[k]-'a'))
+		sum += d * d
+	}
+	return math.Sqrt(float64(a.N)/float64(len(a.Symbols))) * math.Sqrt(sum), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ZNormalize returns the z-normalized copy of the series (mean 0, stddev 1;
+// a constant series normalizes to all zeros).
+func ZNormalize(vals []float64) []float64 {
+	n := float64(len(vals))
+	if n == 0 {
+		return nil
+	}
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= n
+	var variance float64
+	for _, v := range vals {
+		variance += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(variance / n)
+	out := make([]float64, len(vals))
+	if std == 0 {
+		return out
+	}
+	for i, v := range vals {
+		out[i] = (v - mean) / std
+	}
+	return out
+}
+
+// NearestNeighbor returns the index of the candidate series closest to the
+// query under the Euclidean distance, with PAA lower-bound pruning: a
+// candidate whose lower bound already exceeds the best true distance is
+// skipped without a full scan. It returns the index, the distance, and how
+// many full distance computations were needed.
+func NearestNeighbor(query []float64, candidates [][]float64, paaSegments int) (best int, dist float64, fullScans int, err error) {
+	if len(candidates) == 0 {
+		return -1, 0, 0, fmt.Errorf("tsdist: no candidates")
+	}
+	best, dist = -1, math.Inf(1)
+	for i, cand := range candidates {
+		lb, err := PAADistance(query, cand, paaSegments)
+		if err != nil {
+			return -1, 0, 0, err
+		}
+		if lb >= dist {
+			continue // admissibly pruned
+		}
+		d, err := Euclidean(query, cand)
+		if err != nil {
+			return -1, 0, 0, err
+		}
+		fullScans++
+		if d < dist {
+			best, dist = i, d
+		}
+	}
+	return best, dist, fullScans, nil
+}

@@ -1,0 +1,250 @@
+package tsdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/temporal"
+)
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Round(rng.Float64()*1000) / 8
+	}
+	return out
+}
+
+func TestEuclideanBasics(t *testing.T) {
+	d, err := Euclidean([]float64{0, 3}, []float64{4, 3})
+	if err != nil || d != 4 {
+		t.Errorf("Euclidean = %v, %v", d, err)
+	}
+	if _, err := Euclidean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// TestPAADistancePropLowerBounds: the PAA distance never exceeds the true
+// Euclidean distance (Keogh & Pazzani's guarantee — no false dismissals).
+func TestPAADistancePropLowerBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(60)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		c := 1 + rng.Intn(n)
+		lb, err1 := PAADistance(a, b, c)
+		d, err2 := Euclidean(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lb <= d+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSAXMinDistPropLowerBounds: MINDIST lower-bounds the Euclidean
+// distance of the z-normalized series.
+func TestSAXMinDistPropLowerBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(60)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		c := 2 + rng.Intn(8)
+		w := 3 + rng.Intn(7)
+		wa, err1 := approx.SAX(a, c, w)
+		wb, err2 := approx.SAX(b, c, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		md, err := SAXMinDist(wa, wb)
+		if err != nil {
+			return false
+		}
+		d, err := Euclidean(ZNormalize(a), ZNormalize(b))
+		if err != nil {
+			return false
+		}
+		return md <= d+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSAXMinDistValidation(t *testing.T) {
+	a, _ := approx.SAX([]float64{1, 2, 3, 4}, 2, 4)
+	b, _ := approx.SAX([]float64{1, 2, 3, 4, 5, 6}, 3, 4)
+	if _, err := SAXMinDist(a, b); err == nil {
+		t.Error("word length mismatch should fail")
+	}
+	c, _ := approx.SAX([]float64{1, 2, 3, 4}, 2, 8)
+	if _, err := SAXMinDist(a, c); err == nil {
+		t.Error("alphabet mismatch should fail")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	z := ZNormalize([]float64{2, 4, 6})
+	var mean float64
+	for _, v := range z {
+		mean += v
+	}
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("normalized mean = %v", mean)
+	}
+	if zc := ZNormalize([]float64{5, 5, 5}); zc[0] != 0 || zc[2] != 0 {
+		t.Error("constant series should normalize to zeros")
+	}
+	if ZNormalize(nil) != nil {
+		t.Error("empty series should normalize to nil")
+	}
+}
+
+// TestSequenceEuclideanMatchesExpansion: the step-function distance between
+// two sequences equals the pointwise distance of their expansions.
+func TestSequenceEuclideanMatchesExpansion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *temporal.Sequence {
+			seq := temporal.NewSequence(nil, []string{"v"})
+			gid := seq.Groups.Intern(nil)
+			at := temporal.Chronon(0)
+			for i := 0; i < 3+rng.Intn(10); i++ {
+				l := temporal.Chronon(1 + rng.Intn(4))
+				seq.Rows = append(seq.Rows, temporal.SeqRow{
+					Group: gid,
+					Aggs:  []float64{math.Round(rng.Float64() * 50)},
+					T:     temporal.Interval{Start: at, End: at + l - 1},
+				})
+				at += l
+			}
+			return seq
+		}
+		a, b := mk(), mk()
+		got, err := SequenceEuclidean(a, b, 0)
+		if err != nil {
+			return false
+		}
+		// Expand both over the union span and compare pointwise.
+		end := max(a.Rows[a.Len()-1].T.End, b.Rows[b.Len()-1].T.End)
+		var sum float64
+		for ts := temporal.Chronon(0); ts <= end; ts++ {
+			va, vb := 0.0, 0.0
+			for _, r := range a.Rows {
+				if r.T.Contains(ts) {
+					va = r.Aggs[0]
+				}
+			}
+			for _, r := range b.Rows {
+				if r.T.Contains(ts) {
+					vb = r.Aggs[0]
+				}
+			}
+			d := va - vb
+			sum += d * d
+		}
+		return math.Abs(got-math.Sqrt(sum)) <= 1e-6*(1+math.Sqrt(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPTACompressionPreservesNeighbors: the paper's motivating application —
+// a query's nearest neighbor among PTA-compressed series matches the
+// nearest neighbor among the originals when compression keeps moderate
+// error.
+func TestPTACompressionPreservesNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mkSmooth := func(phase float64) []float64 {
+		vals := make([]float64, 128)
+		for i := range vals {
+			vals[i] = 50*math.Sin(float64(i)/10+phase) + rng.Float64()
+		}
+		return vals
+	}
+	candidates := [][]float64{mkSmooth(0), mkSmooth(1.2), mkSmooth(2.4), mkSmooth(3.6)}
+	query := mkSmooth(0.08) // closest to phase 0
+
+	// Exact nearest neighbor.
+	wantIdx, _, _, err := NearestNeighbor(query, candidates, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantIdx != 0 {
+		t.Fatalf("sanity: expected candidate 0, got %d", wantIdx)
+	}
+
+	// Compress every candidate with PTA to 16 tuples and compare distances
+	// on the step functions.
+	toSeq := func(vals []float64) *temporal.Sequence {
+		seq := temporal.NewSequence(nil, []string{"v"})
+		gid := seq.Groups.Intern(nil)
+		for i, v := range vals {
+			seq.Rows = append(seq.Rows, temporal.SeqRow{Group: gid, Aggs: []float64{v},
+				T: temporal.Inst(temporal.Chronon(i))})
+		}
+		return seq
+	}
+	qSeq := toSeq(query)
+	bestIdx, bestDist := -1, math.Inf(1)
+	for i, cand := range candidates {
+		res, err := core.PTAc(toSeq(cand), 16, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := SequenceEuclidean(qSeq, res.Sequence, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	if bestIdx != wantIdx {
+		t.Errorf("PTA-compressed nearest neighbor = %d, want %d", bestIdx, wantIdx)
+	}
+}
+
+// TestNearestNeighborPruning: the PAA lower bound must never change the
+// answer, only reduce full scans.
+func TestNearestNeighborPruning(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(32)
+		var candidates [][]float64
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			candidates = append(candidates, randSeries(rng, n))
+		}
+		query := randSeries(rng, n)
+		idx, dist, scans, err := NearestNeighbor(query, candidates, 4)
+		if err != nil || scans > len(candidates) {
+			return false
+		}
+		// Brute force.
+		bi, bd := -1, math.Inf(1)
+		for i, cand := range candidates {
+			d, _ := Euclidean(query, cand)
+			if d < bd {
+				bi, bd = i, d
+			}
+		}
+		return idx == bi && math.Abs(dist-bd) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestNeighborValidation(t *testing.T) {
+	if _, _, _, err := NearestNeighbor([]float64{1}, nil, 2); err == nil {
+		t.Error("no candidates should fail")
+	}
+}
