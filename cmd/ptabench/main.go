@@ -1,16 +1,23 @@
 // Command ptabench regenerates the tables and figures of the paper's
 // evaluation (Section 7). Each experiment prints an aligned text table whose
-// shape corresponds to one paper artifact; EXPERIMENTS.md records the
-// paper-reported values next to the reproduced ones.
+// shape corresponds to one paper artifact; -json instead emits the tables as
+// a machine-readable JSON array (for recording BENCH_*.json perf
+// trajectories across revisions), and -csv writes one CSV per table.
+//
+// The experiment suite enumerates the compression strategies from the public
+// pta registry; `ptabench -exp strategies` runs every registered evaluator
+// under both budget kinds.
 //
 // Usage:
 //
 //	ptabench -list
 //	ptabench -exp fig15
+//	ptabench -exp strategies -json > BENCH_strategies.json
 //	ptabench -all -scale 0.5 -csv out/
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,15 +27,28 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonTable is the machine-readable rendering of one experiment outcome.
+type jsonTable struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Scale     float64    `json:"scale"`
+	Seed      int64      `json:"seed"`
+}
+
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		exp    = flag.String("exp", "", "run a single experiment by id (e.g. fig15)")
-		all    = flag.Bool("all", false, "run every experiment")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = reproduction scale)")
-		seed   = flag.Int64("seed", 42, "dataset generation seed")
-		quick  = flag.Bool("quick", false, "tiny smoke-test sizes")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "", "run a single experiment by id (e.g. fig15)")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = reproduction scale)")
+		seed     = flag.Int64("seed", 42, "dataset generation seed")
+		quick    = flag.Bool("quick", false, "tiny smoke-test sizes")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonMode = flag.Bool("json", false, "emit a JSON array of tables on stdout instead of text")
 	)
 	flag.Parse()
 
@@ -53,6 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	var jsonOut []jsonTable
 	for _, id := range ids {
 		e, ok := experiments.ByID(id)
 		if !ok {
@@ -65,31 +86,48 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ptabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		if err := tab.Format(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
-			os.Exit(1)
+		elapsed := time.Since(start)
+		if *jsonMode {
+			jsonOut = append(jsonOut, jsonTable{
+				ID: tab.ID, Title: tab.Title, Header: tab.Header, Rows: tab.Rows,
+				Notes: tab.Notes, ElapsedMS: float64(elapsed.Microseconds()) / 1000.0,
+				Scale: *scale, Seed: *seed,
+			})
+		} else {
+			if err := tab.Format(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s finished in %v)\n\n", id, elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*csvDir, id+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
-				os.Exit(1)
-			}
-			if err := tab.CSV(f); err != nil {
-				f.Close()
-				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
+			if err := writeCSV(*csvDir, tab); err != nil {
 				fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
 				os.Exit(1)
 			}
 		}
 	}
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tab.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

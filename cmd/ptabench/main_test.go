@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestJSONTableRoundTrip: the -json rendering is stable, complete, and
+// parseable — the contract future BENCH_*.json perf trajectories rely on.
+func TestJSONTableRoundTrip(t *testing.T) {
+	in := jsonTable{
+		ID: "fig0", Title: "demo", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"n"},
+		ElapsedMS: 1.5, Scale: 1, Seed: 42,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"id"`, `"header"`, `"rows"`, `"elapsed_ms"`, `"scale"`, `"seed"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("JSON lacks %s: %s", key, raw)
+		}
+	}
+	var out jsonTable
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || len(out.Rows) != 1 || out.ElapsedMS != 1.5 {
+		t.Errorf("round trip changed the table: %+v", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tab := &experiments.Table{
+		ID: "demo", Header: []string{"x", "y"}, Rows: [][]string{{"1", "2"}},
+	}
+	if err := writeCSV(dir, tab); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "demo.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw); got != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}

@@ -1,6 +1,6 @@
 // Command ptacli runs temporal aggregation queries over CSV relations: ITA
-// (instant), STA (span), exact PTA (size- or error-bounded), and the
-// streaming greedy variants.
+// (instant), STA (span), and parsimonious compression through the public
+// pta facade — any registered strategy, under a size or error budget.
 //
 // The input format is the one produced by internal/csvio: a header of
 // name:kind columns followed by tstart,tend, e.g.
@@ -10,9 +10,10 @@
 //
 // Examples:
 //
+//	ptacli -list-strategies
 //	ptacli -in proj.csv -group Proj -agg avg:Sal ita
-//	ptacli -in proj.csv -group Proj -agg avg:Sal -c 4 pta
-//	ptacli -in proj.csv -group Proj -agg avg:Sal -eps 0.2 pta
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -budget c=4 pta
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -strategy gms -budget eps=0.2 pta
 //	ptacli -in proj.csv -group Proj -agg avg:Sal -c 4 -delta 1 gpta
 //	ptacli -in proj.csv -group Proj -agg avg:Sal -span 4 sta
 package main
@@ -23,25 +24,32 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/csvio"
 	"repro/internal/ita"
 	"repro/internal/sta"
 	"repro/internal/temporal"
+	"repro/pta"
 )
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input relation CSV (required)")
-		out   = flag.String("out", "", "output CSV (default: stdout, human readable)")
-		group = flag.String("group", "", "comma-separated grouping attributes")
-		aggs  = flag.String("agg", "", "comma-separated aggregates func:attr[:as] (e.g. avg:Sal,count:)")
-		c     = flag.Int("c", 0, "size bound for pta/gpta")
-		eps   = flag.Float64("eps", -1, "error bound in [0,1] for pta/gpta (alternative to -c)")
-		delta = flag.Int("delta", 1, "read-ahead δ for gpta (-1 = ∞)")
-		span  = flag.Int64("span", 0, "span width for sta")
+		in       = flag.String("in", "", "input relation CSV (required)")
+		out      = flag.String("out", "", "output CSV (default: stdout, human readable)")
+		group    = flag.String("group", "", "comma-separated grouping attributes")
+		aggs     = flag.String("agg", "", "comma-separated aggregates func:attr[:as] (e.g. avg:Sal,count:)")
+		strategy = flag.String("strategy", "", "compression strategy (see -list-strategies; default ptac, gpta: gptac)")
+		budget   = flag.String("budget", "", "compression budget: c=<size> or eps=<fraction>")
+		c        = flag.Int("c", 0, "size budget shorthand (same as -budget c=N)")
+		eps      = flag.Float64("eps", -1, "error budget shorthand (same as -budget eps=X)")
+		delta    = flag.Int("delta", 1, "read-ahead δ for streaming strategies (-1 = ∞)")
+		span     = flag.Int64("span", 0, "span width for sta")
+		list     = flag.Bool("list-strategies", false, "list registered compression strategies and exit")
 	)
 	flag.Parse()
+	if *list {
+		listStrategies()
+		return
+	}
 	if *in == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ptacli -in data.csv [flags] {ita|sta|pta|gpta}")
 		flag.PrintDefaults()
@@ -76,55 +84,59 @@ func main() {
 		}
 		result, err = sta.Eval(rel, query, spans)
 	case "pta":
+		b, berr := resolveBudget(*budget, *c, *eps)
+		if berr != nil {
+			fail(berr)
+		}
+		name := *strategy
+		if name == "" {
+			name = "ptac"
+		}
 		seq, ierr := ita.Eval(rel, query)
 		if ierr != nil {
 			fail(ierr)
 		}
-		var res *core.DPResult
-		switch {
-		case *eps >= 0:
-			res, err = core.PTAe(seq, *eps, core.Options{})
-		case *c > 0:
-			res, err = core.PTAc(seq, *c, core.Options{})
-		default:
-			fail(fmt.Errorf("pta needs -c or -eps"))
+		res, cerr := pta.Compress(seq, name, b, pta.Options{ReadAhead: readAhead(*delta)})
+		if cerr != nil {
+			fail(cerr)
 		}
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "pta: reduced %d ITA tuples to %d, error %.6g\n", seq.Len(), res.C, res.Error)
-			result = res.Sequence
-		}
+		fmt.Fprintf(os.Stderr, "pta: %s(%v) reduced %d ITA tuples to %d, error %.6g\n",
+			name, b, seq.Len(), res.C, res.Error)
+		result = res.Series
 	case "gpta":
-		it, ierr := ita.NewIterator(rel, query)
-		if ierr != nil {
-			fail(ierr)
+		b, berr := resolveBudget(*budget, *c, *eps)
+		if berr != nil {
+			fail(berr)
 		}
-		d := *delta
-		if d < 0 {
-			d = core.DeltaInf
+		name := *strategy
+		if name == "" {
+			name = "gptac"
 		}
-		var res *core.GreedyResult
-		switch {
-		case *eps >= 0:
-			// Estimates per Section 6.3: n̂ = 2|r|−1, Êmax from the exact
-			// computation over a second pass (the CLI has the data local).
+		opts := pta.Options{ReadAhead: readAhead(*delta)}
+		if b.Kind() == pta.BudgetError {
+			// Estimates per Section 6.3: the CLI has the data local, so a
+			// second pass provides the exact (N, EMax).
 			seq, serr := ita.Eval(rel, query)
 			if serr != nil {
 				fail(serr)
 			}
-			est, eerr := core.ExactEstimate(seq, core.Options{})
+			est, eerr := pta.ExactEstimate(seq, opts)
 			if eerr != nil {
 				fail(eerr)
 			}
-			res, err = core.GPTAe(it, *eps, d, est, core.Options{})
-		case *c > 0:
-			res, err = core.GPTAc(it, *c, d, core.Options{})
-		default:
-			fail(fmt.Errorf("gpta needs -c or -eps"))
+			opts.Estimate = &est
 		}
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "gpta: result size %d, error %.6g, max heap %d\n", res.C, res.Error, res.MaxHeap)
-			result = res.Sequence
+		it, ierr := ita.NewIterator(rel, query)
+		if ierr != nil {
+			fail(ierr)
 		}
+		res, cerr := pta.CompressStream(it, name, b, opts)
+		if cerr != nil {
+			fail(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "gpta: %s(%v) result size %d, error %.6g, max heap %d\n",
+			name, b, res.C, res.Error, res.Stats.MaxHeap)
+		result = res.Series
 	default:
 		fail(fmt.Errorf("unknown operation %q (want ita, sta, pta or gpta)", op))
 	}
@@ -139,6 +151,48 @@ func main() {
 		return
 	}
 	fmt.Print(result.String())
+}
+
+// resolveBudget merges the -budget flag with the -c/-eps shorthands.
+func resolveBudget(budget string, c int, eps float64) (pta.Budget, error) {
+	if budget != "" {
+		return pta.ParseBudget(budget)
+	}
+	switch {
+	case eps >= 0:
+		b := pta.ErrorBound(eps)
+		return b, b.Validate()
+	case c > 0:
+		b := pta.Size(c)
+		return b, b.Validate()
+	}
+	return pta.Budget{}, fmt.Errorf("need -budget, -c or -eps")
+}
+
+// readAhead maps the CLI δ convention (-1 = ∞) onto pta.Options.ReadAhead.
+func readAhead(delta int) int {
+	switch {
+	case delta < 0:
+		return pta.ReadAheadInf
+	case delta == 0:
+		return pta.ReadAheadEager
+	default:
+		return delta
+	}
+}
+
+func listStrategies() {
+	fmt.Printf("%-14s %-5s %-5s %-7s %s\n", "strategy", "c", "eps", "stream", "description")
+	for _, info := range pta.Describe() {
+		mark := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "-"
+		}
+		fmt.Printf("%-14s %-5s %-5s %-7s %s\n",
+			info.Name, mark(info.Size), mark(info.Error), mark(info.Streaming), info.Description)
+	}
 }
 
 func parseQuery(group, aggs string) (ita.Query, error) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ita"
+	"repro/pta"
 )
 
 func TestParseQuery(t *testing.T) {
@@ -25,6 +26,37 @@ func TestParseQuery(t *testing.T) {
 	}
 	if q.Aggs[2].As != "TopSal" {
 		t.Errorf("agg 2 = %+v", q.Aggs[2])
+	}
+}
+
+func TestResolveBudget(t *testing.T) {
+	if b, err := resolveBudget("c=9", 0, -1); err != nil || b != pta.Size(9) {
+		t.Errorf("-budget c=9: %v %v", b, err)
+	}
+	if b, err := resolveBudget("", 4, -1); err != nil || b != pta.Size(4) {
+		t.Errorf("-c 4: %v %v", b, err)
+	}
+	if b, err := resolveBudget("", 0, 0.25); err != nil || b != pta.ErrorBound(0.25) {
+		t.Errorf("-eps 0.25: %v %v", b, err)
+	}
+	if _, err := resolveBudget("", 0, -1); err == nil {
+		t.Error("no budget should fail")
+	}
+	// -budget wins over the shorthands.
+	if b, _ := resolveBudget("eps=0.1", 4, -1); b != pta.ErrorBound(0.1) {
+		t.Errorf("-budget precedence: %v", b)
+	}
+}
+
+func TestReadAhead(t *testing.T) {
+	if readAhead(-1) != pta.ReadAheadInf {
+		t.Error("-delta -1 should map to ∞")
+	}
+	if readAhead(0) != pta.ReadAheadEager {
+		t.Error("-delta 0 should map to eager")
+	}
+	if readAhead(3) != 3 {
+		t.Error("-delta 3 should pass through")
 	}
 }
 

@@ -1,16 +1,25 @@
 // Package repro is a from-scratch Go reproduction of "Parsimonious Temporal
 // Aggregation" (Gordevicius, Gamper, Böhlen; EDBT 2009 / VLDB Journal 2012).
 //
-// The library lives under internal/: the temporal relational model
+// The public entry point is the root-level pta package: a Series/Result data
+// model over sequential relations, a Budget type unifying the paper's size
+// bound c and error bound ε, and a named strategy registry behind one
+// Evaluator interface — the exact dynamic programs (PTAc, PTAe, the unpruned
+// DPBasic and the Section 5.3 ablation modes), the greedy strategies (GMS,
+// gap-bridging GMS), the streaming evaluators with δ read-ahead (gPTAc,
+// gPTAε), and the classic time-series baselines (PAA, PLA, APCA) adapted to
+// the same interface. pta.Compress resolves a strategy by name;
+// pta.Strategies lists the registry. See README.md for a quickstart.
+//
+// The implementation lives under internal/: the temporal relational model
 // (internal/temporal), instant and span temporal aggregation (internal/ita,
-// internal/sta), the PTA operator with its exact dynamic-programming and
-// streaming greedy evaluators (internal/core), the time-series approximation
-// baselines (internal/approx), V-optimal histograms (internal/histogram),
-// the synthetic evaluation workloads (internal/dataset), CSV storage
-// (internal/csvio), and the experiment harness that regenerates every table
-// and figure of the paper (internal/experiments, cmd/ptabench).
+// internal/sta), the PTA merge operator, prefix matrices and evaluators
+// (internal/core), the time-series approximation baselines (internal/approx),
+// V-optimal histograms (internal/histogram), synthetic evaluation workloads
+// (internal/dataset), CSV storage (internal/csvio), and the experiment
+// harness that regenerates every table and figure of the paper
+// (internal/experiments, driven by cmd/ptabench).
 //
 // bench_test.go at this root wraps one benchmark family around each paper
-// artifact; see DESIGN.md for the inventory and EXPERIMENTS.md for
-// paper-versus-measured numbers.
+// artifact; integration_test.go crosses the package boundaries end to end.
 package repro

@@ -12,9 +12,9 @@ import (
 	"log"
 
 	"repro/internal/amnesic"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/temporal"
+	"repro/pta"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	const budget = 48 // one segment per half hour, on average
 
 	// Uniform PTA: minimal total error, agnostic of age.
-	uniform, err := core.GPTAc(core.NewSliceStream(series), budget, 1, core.Options{})
+	uniform, err := pta.Compress(series, "gptac", pta.Size(budget), pta.Options{ReadAhead: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func main() {
 	}
 	for _, b := range buckets {
 		fmt.Printf("%-22s %-14d %-14d\n", b.label+" segments",
-			segmentsIn(uniform.Sequence, b.start, b.end),
+			segmentsIn(uniform.Series, b.start, b.end),
 			segmentsIn(am.Sequence, b.start, b.end))
 	}
 	fmt.Printf("\ntotal squared error: uniform %.1f, amnesic %.1f (amnesic shifts error into the past)\n",

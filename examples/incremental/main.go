@@ -2,7 +2,8 @@
 // warehouse: tuples arrive (and are retracted) one at a time, an SB-tree
 // (Yang & Widom, reference [30] of the paper) keeps the temporal aggregate
 // continuously up to date, and on demand the current aggregate is pulled
-// out and compressed with PTA for display — no batch recomputation anywhere.
+// out and compressed through the pta facade for display — no batch
+// recomputation anywhere.
 //
 // Run with: go run ./examples/incremental
 package main
@@ -12,9 +13,9 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
 	"repro/internal/sbtree"
 	"repro/internal/temporal"
+	"repro/pta"
 )
 
 func main() {
@@ -51,13 +52,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pta, err := core.PTAc(seq, 24, core.Options{})
+	res, err := pta.Compress(seq, "ptac", pta.Size(24), pta.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	px, _ := core.NewPrefix(seq, core.Options{})
+	emax, err := pta.MaxError(seq, pta.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("aggregate: %d rows → PTA 24 rows (%.3f%% of max error)\n",
-		seq.Len(), 100*pta.Error/px.MaxError())
+		seq.Len(), 100*res.Error/emax)
 
 	// Phase 2: 1 500 contracts are retracted (amendments), the aggregate
 	// stays consistent without recomputation.
@@ -91,18 +95,11 @@ func main() {
 		fmt.Println("MISMATCH between incremental and rebuilt aggregates")
 	}
 
-	// Final display snapshot.
-	res, err := core.GPTAe(core.NewSliceStream(seq2), 0.01, 1, mustEstimate(seq2), core.Options{})
+	// Final display snapshot: the in-memory error-bounded strategy computes
+	// its own exact (N, EMax) estimate.
+	snap, err := pta.Compress(seq2, "gptae", pta.ErrorBound(0.01), pta.Options{ReadAhead: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("error-bounded display snapshot (ε = 1%%): %d rows, error %.4g\n", res.C, res.Error)
-}
-
-func mustEstimate(seq *temporal.Sequence) core.Estimate {
-	est, err := core.ExactEstimate(seq, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return est
+	fmt.Printf("error-bounded display snapshot (ε = 1%%): %d rows, error %.4g\n", snap.C, snap.Error)
 }

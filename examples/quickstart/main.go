@@ -1,6 +1,7 @@
 // Quickstart walks through the paper's running example (Fig. 1): the proj
 // relation, its span and instant temporal aggregations, and the
-// parsimonious reduction to four tuples.
+// parsimonious reduction to four tuples — expressed through the public pta
+// facade.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -9,10 +10,10 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ita"
 	"repro/internal/sta"
+	"repro/pta"
 )
 
 func main() {
@@ -51,21 +52,23 @@ func main() {
 	fmt.Print(itaResult)
 
 	// Parsimonious temporal aggregation: merge the most similar adjacent
-	// ITA tuples until 4 rows remain, minimizing the sum squared error.
-	pta, err := core.PTAc(itaResult, 4, core.Options{})
+	// ITA tuples until 4 rows remain, minimizing the sum squared error. The
+	// "ptac" strategy is the exact dynamic program; swap the name for any
+	// other registered evaluator (pta.Strategies() lists them).
+	res, err := pta.Compress(itaResult, "ptac", pta.Size(4), pta.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nPTA (c = 4, error %.2f), Fig. 1(d):\n", pta.Error)
-	fmt.Print(pta.Sequence)
+	fmt.Printf("\nPTA (c = 4, error %.2f), Fig. 1(d):\n", res.Error)
+	fmt.Print(res.Series)
 
 	// The error-bounded variant instead fixes a tolerable error (here 20%
 	// of the maximal merging error) and minimizes the size.
-	ptae, err := core.PTAe(itaResult, 0.2, core.Options{})
+	resE, err := pta.Compress(itaResult, "ptae", pta.ErrorBound(0.2), pta.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nPTA (ε = 0.2) reduced %d → %d tuples, error %.2f:\n",
-		itaResult.Len(), ptae.C, ptae.Error)
-	fmt.Print(ptae.Sequence)
+		itaResult.Len(), resE.C, resE.Error)
+	fmt.Print(resE.Series)
 }

@@ -1,8 +1,8 @@
 // Salaries demonstrates PTA on an ETDS-style payroll workload (the paper's
 // E-queries): a company-wide salary history is aggregated per month with
-// ITA, then compressed with exact, size-bounded PTA and with the
-// error-bounded variant, showing the size/error trade-off the operator
-// exposes to applications such as dashboards.
+// ITA, then compressed through the pta facade with exact, size-bounded PTA
+// and with the error-bounded variant, showing the size/error trade-off the
+// operator exposes to applications such as dashboards.
 //
 // Run with: go run ./examples/salaries
 package main
@@ -11,9 +11,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ita"
+	"repro/pta"
 )
 
 func main() {
@@ -39,27 +39,31 @@ func main() {
 
 	// A dashboard wants at most 12 segments. Weights: salary differences
 	// matter much more than headcount differences per Definition 5.
-	opts := core.Options{Weights: []float64{1, 25}}
-	res, err := core.PTAc(monthly, 12, opts)
+	opts := pta.Options{Weights: []float64{1, 25}}
+	res, err := pta.Compress(monthly, "ptac", pta.Size(12), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsize-bounded PTA, c = 12 (error %.4g):\n", res.Error)
-	fmt.Print(res.Sequence)
+	fmt.Print(res.Series)
 
 	// Alternatively: keep whatever size is needed for at most 0.5% of the
 	// maximal merging error.
-	resE, err := core.PTAe(monthly, 0.005, opts)
+	resE, err := pta.Compress(monthly, "ptae", pta.ErrorBound(0.005), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nerror-bounded PTA, ε = 0.5%% → %d rows (error %.4g)\n", resE.C, resE.Error)
 
-	// How good is the cheap greedy approximation at the same size?
-	greedy, err := core.GPTAc(core.NewSliceStream(monthly), 12, 1, opts)
+	// How good is the cheap greedy approximation at the same size? Same
+	// budget, same options — only the strategy name changes.
+	greedy, err := pta.Compress(monthly, "gptac", pta.Size(12), pta.Options{
+		Weights:   opts.Weights,
+		ReadAhead: 1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ngreedy gPTAc at c = 12: error %.4g (ratio %.3f vs optimum), max heap %d of %d rows\n",
-		greedy.Error, greedy.Error/res.Error, greedy.MaxHeap, monthly.Len())
+	fmt.Printf("\ngreedy gptac at c = 12: error %.4g (ratio %.3f vs optimum), max heap %d of %d rows\n",
+		greedy.Error, greedy.Error/res.Error, greedy.Stats.MaxHeap, monthly.Len())
 }

@@ -1,8 +1,9 @@
 // Sensors compresses a multi-station wind-speed feed (the paper's T3
-// workload) for visualization, comparing PTA's data-adaptive segments with
-// the classic fixed-grid and wavelet-based alternatives on a single station,
-// and demonstrating the multi-dimensional reduction with per-dimension
-// weights that the time-series baselines cannot express.
+// workload) for visualization. The 12-dimensional, gap-ridden feed goes
+// through the streaming PTA strategy directly; on a single station's
+// gap-free stretch the strategy registry makes the classic baselines (PAA,
+// APCA, PLA) directly comparable under the same budget — switching methods
+// is just a name change.
 //
 // Run with: go run ./examples/sensors
 package main
@@ -12,9 +13,9 @@ import (
 	"log"
 
 	"repro/internal/approx"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/temporal"
+	"repro/pta"
 )
 
 func main() {
@@ -29,54 +30,37 @@ func main() {
 	// A chart should show at most 120 segments across all stations' shared
 	// timeline. PTA handles the 12 dimensions and the outage gaps directly.
 	const budget = 120
-	res, err := core.GPTAc(core.NewSliceStream(wind), budget, 1, core.Options{})
+	res, err := pta.Compress(wind, "gptac", pta.Size(budget), pta.Options{ReadAhead: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	px, err := core.NewPrefix(wind, core.Options{})
+	emax, err := pta.MaxError(wind, pta.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("gPTAc: %d → %d segments, error %.4g (%.2f%% of SSEmax), heap ≤ %d\n",
-		wind.Len(), res.C, res.Error, 100*res.Error/px.MaxError(), res.MaxHeap)
+	fmt.Printf("gptac: %d → %d segments, error %.4g (%.2f%% of SSEmax), heap ≤ %d\n",
+		wind.Len(), res.C, res.Error, 100*res.Error/emax, res.Stats.MaxHeap)
 
 	// The classic baselines only handle one gap-free dimension: extract
-	// station01's longest gap-free stretch and compare at equal budgets.
+	// station01's longest gap-free stretch and compare every applicable
+	// registry strategy at the same budget.
 	single := singleStationRun(wind, 0)
+	c := 40
+	fmt.Printf("\nstation01, %d gap-free rows, budget %d segments:\n", single.Len(), c)
+	for _, strategy := range []string{"ptac", "gms", "paa", "apca", "pla"} {
+		r, err := pta.Compress(single, strategy, pta.Size(c), pta.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s error %.4g (%d segments)\n", r.Strategy, r.Error, r.C)
+	}
+
+	// SAX gives a symbolic sketch of the same stretch for indexing.
 	series, err := approx.FromSequence(single)
 	if err != nil {
 		log.Fatal(err)
 	}
-	vals := series.Dims[0]
-	c := 40
-	fmt.Printf("\nstation01, %d gap-free samples, budget %d segments:\n", len(vals), c)
-
-	opt, err := core.PTAc(single, c, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %-6s error %.4g\n", "PTA", opt.Error)
-
-	paa, err := approx.PAAReconstruct(vals, c)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %-6s error %.4g\n", "PAA", pointSSE(vals, paa))
-
-	apca, err := approx.APCA(vals, c, series.Start)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %-6s error %.4g\n", "APCA", series.SSESegments(apca, nil))
-
-	dwt, _, err := approx.DWTWithSegments(vals, c)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %-6s error %.4g\n", "DWT", pointSSE(vals, dwt))
-
-	// SAX gives a symbolic sketch of the same stretch for indexing.
-	word, err := approx.SAX(vals, 20, 6)
+	word, err := approx.SAX(series.Dims[0], 20, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +69,7 @@ func main() {
 
 // singleStationRun projects dimension d of the feed and keeps the longest
 // gap-free stretch.
-func singleStationRun(seq *temporal.Sequence, d int) *temporal.Sequence {
+func singleStationRun(seq *pta.Series, d int) *pta.Series {
 	bestLo, bestHi, lo := 0, 0, 0
 	for i := 0; i <= seq.Len(); i++ {
 		if i == seq.Len() || (i > 0 && !seq.Adjacent(i-1)) {
@@ -95,7 +79,7 @@ func singleStationRun(seq *temporal.Sequence, d int) *temporal.Sequence {
 			lo = i
 		}
 	}
-	out := temporal.NewSequence(nil, []string{seq.AggNames[d]})
+	out := pta.NewSeries(nil, []string{seq.AggNames[d]})
 	gid := out.Groups.Intern(nil)
 	for _, r := range seq.Rows[bestLo:bestHi] {
 		out.Rows = append(out.Rows, temporal.SeqRow{
@@ -105,13 +89,4 @@ func singleStationRun(seq *temporal.Sequence, d int) *temporal.Sequence {
 		})
 	}
 	return out
-}
-
-func pointSSE(vals, rec []float64) float64 {
-	var s float64
-	for i, v := range vals {
-		d := v - rec[i]
-		s += d * d
-	}
-	return s
 }

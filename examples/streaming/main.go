@@ -3,9 +3,9 @@
 // be summarized in O(c+β) memory instead of materializing the full ITA
 // result first (Section 6.2).
 //
-// The example wires an ita.Iterator — which satisfies core.Stream — straight
-// into gPTAc and gPTAε and reports how small the heap stayed relative to the
-// stream, for several read-ahead settings δ.
+// The example wires an ita.Iterator — which satisfies pta.Stream — straight
+// into pta.CompressStream and reports how small the heap stayed relative to
+// the stream, for several read-ahead settings δ.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ita"
+	"repro/pta"
 )
 
 func main() {
@@ -41,18 +41,19 @@ func main() {
 	const c = 64
 	fmt.Printf("stream: %d input records → %d ITA rows; target size %d\n", feed.Len(), n, c)
 
-	fmt.Println("\nsize-bounded gPTAc, merging as rows arrive:")
-	for _, delta := range []int{0, 1, 2, core.DeltaInf} {
+	fmt.Println("\nsize-bounded gptac, merging as rows arrive:")
+	for _, delta := range []int{pta.ReadAheadEager, 1, 2, pta.ReadAheadInf} {
 		it, err := ita.NewIterator(feed, query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.GPTAc(it, c, delta, core.Options{})
+		res, err := pta.CompressStream(it, "gptac", pta.Size(c), pta.Options{ReadAhead: delta})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  δ=%-4s result %3d rows, error %.4g, max heap %6d (%.1f%% of stream)\n",
-			deltaName(delta), res.C, res.Error, res.MaxHeap, 100*float64(res.MaxHeap)/float64(n))
+			deltaName(delta), res.C, res.Error, res.Stats.MaxHeap,
+			100*float64(res.Stats.MaxHeap)/float64(n))
 	}
 
 	// Error-bounded variant: the estimates n̂ = 2|r|−1 and Êmax from a 10%
@@ -63,28 +64,34 @@ func main() {
 		log.Fatal(err)
 	}
 	sample.Rows = sample.Rows[:len(sample.Rows)/10]
-	est, err := core.SampleEstimate(sample, feed.Len(), 0.1, core.Options{})
+	est, err := pta.SampleEstimate(sample, feed.Len(), 0.1, pta.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nerror-bounded gPTAε (ε = 0.05, estimates n̂=%d, Êmax=%.3g):\n", est.N, est.EMax)
-	for _, delta := range []int{1, core.DeltaInf} {
+	fmt.Printf("\nerror-bounded gptae (ε = 0.05, estimates n̂=%d, Êmax=%.3g):\n", est.N, est.EMax)
+	for _, delta := range []int{1, pta.ReadAheadInf} {
 		it, err := ita.NewIterator(feed, query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.GPTAe(it, 0.05, delta, est, core.Options{})
+		res, err := pta.CompressStream(it, "gptae", pta.ErrorBound(0.05), pta.Options{
+			ReadAhead: delta,
+			Estimate:  &est,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  δ=%-4s result %3d rows, error %.4g, max heap %6d\n",
-			deltaName(delta), res.C, res.Error, res.MaxHeap)
+			deltaName(delta), res.C, res.Error, res.Stats.MaxHeap)
 	}
 }
 
 func deltaName(d int) string {
-	if d == core.DeltaInf {
+	switch d {
+	case pta.ReadAheadInf:
 		return "∞"
+	case pta.ReadAheadEager:
+		return "0"
 	}
 	return fmt.Sprintf("%d", d)
 }

@@ -279,6 +279,25 @@ func DPBasic(seq *temporal.Sequence, c int, opts Options) (*DPResult, error) {
 // introduces at most eps·SSEmax error, 0 ≤ eps ≤ 1, and returns that optimal
 // reduction.
 func PTAe(seq *temporal.Sequence, eps float64, opts Options) (*DPResult, error) {
+	return runErrorBoundedMode(seq, eps, opts, true, true)
+}
+
+// PTAeAblation evaluates error-bounded PTA with an explicit pruning mode,
+// mirroring PTAcAblation: every mode returns the same minimal-size optimal
+// reduction and differs only in the work counted by Stats.
+func PTAeAblation(seq *temporal.Sequence, eps float64, opts Options, mode PruneMode) (*DPResult, error) {
+	return runErrorBoundedMode(seq, eps, opts, mode == PruneIMax || mode == PruneBoth,
+		mode == PruneJMin || mode == PruneBoth)
+}
+
+// DPBasicError evaluates error-bounded PTA with the basic dynamic-programming
+// scheme (no gap/group pruning) — the error-bounded counterpart of DPBasic,
+// used as the baseline of the performance experiments.
+func DPBasicError(seq *temporal.Sequence, eps float64, opts Options) (*DPResult, error) {
+	return runErrorBoundedMode(seq, eps, opts, false, false)
+}
+
+func runErrorBoundedMode(seq *temporal.Sequence, eps float64, opts Options, pruneI, pruneJ bool) (*DPResult, error) {
 	if eps < 0 || eps > 1 {
 		return nil, fmt.Errorf("core: error bound %v outside [0, 1]", eps)
 	}
@@ -292,6 +311,7 @@ func PTAe(seq *temporal.Sequence, eps float64, opts Options) (*DPResult, error) 
 	}
 	bound := eps * px.MaxError()
 	st := newDPState(px, true, true)
+	st.pruneI, st.pruneJ = pruneI, pruneJ
 	for k := 1; k <= n; k++ {
 		e := st.fillRow(k)
 		if e <= bound {

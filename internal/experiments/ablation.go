@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/pta"
 )
 
 func init() {
@@ -35,10 +35,10 @@ func runParallel(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		c := max(seq.CMin(), seq.Len()/5)
-		var mono, par *core.DPResult
+		var mono, par *pta.Result
 		dMono, err := timeIt(func() error {
 			var err error
-			mono, err = core.PTAc(seq, c, core.Options{})
+			mono, err = pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -46,7 +46,7 @@ func runParallel(cfg Config) (*Table, error) {
 		}
 		dPar, err := timeIt(func() error {
 			var err error
-			par, err = core.PTAcParallel(seq, c, core.Options{}, 0)
+			par, err = pta.Compress(seq, "ptac-parallel", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -81,18 +81,18 @@ func runGapBridge(cfg Config) (*Table, error) {
 		}
 		seq := ws[0].Seq
 		n, cmin := seq.Len(), seq.CMin()
-		groups := core.GroupCount(seq)
+		groups := pta.GroupCount(seq)
 		for _, c := range []int{cmin, max(cmin, n/20)} {
-			gms, err := core.GMS(seq, c, core.Options{})
+			gms, err := pta.Compress(seq, "gms", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
-			bridged, err := core.GMSBridged(seq, c, core.Options{})
+			bridged, err := pta.Compress(seq, "gms-bridged", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
 			// How far below cmin can bridging go?
-			floor, err := core.GMSBridged(seq, groups, core.Options{})
+			floor, err := pta.Compress(seq, "gms-bridged", pta.Size(groups), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +115,10 @@ func runAblation(cfg Config) (*Table, error) {
 		ID: "ablation", Title: "DP pruning ablation: cells / inner iterations / time by mode",
 		Header: []string{"workload", "mode", "cells", "inner_iters", "time_ms", "error"},
 	}
-	modes := []core.PruneMode{core.PruneNone, core.PruneIMax, core.PruneJMin, core.PruneBoth}
+	// The four pruning modes are themselves registry strategies.
+	modes := []struct{ strategy, label string }{
+		{"dpbasic", "none"}, {"ptac-imax", "imax"}, {"ptac-jmin", "jmin"}, {"ptac", "imax+jmin"},
+	}
 
 	gapped, err := dataset.Uniform(100, max(4, cfg.scaled(3000)/100), 4, cfg.Seed+20)
 	if err != nil {
@@ -127,26 +130,26 @@ func runAblation(cfg Config) (*Table, error) {
 	}
 	workloads := []struct {
 		name string
-		run  func(core.PruneMode) (*core.DPResult, error)
+		run  func(strategy string) (*pta.Result, error)
 	}{
-		{"gapped(100 groups)", func(m core.PruneMode) (*core.DPResult, error) {
+		{"gapped(100 groups)", func(strategy string) (*pta.Result, error) {
 			c := max(gapped.CMin(), gapped.Len()/5)
-			return core.PTAcAblation(gapped, c, core.Options{}, m)
+			return pta.Compress(gapped, strategy, pta.Size(c), pta.Options{})
 		}},
-		{"gap-free", func(m core.PruneMode) (*core.DPResult, error) {
+		{"gap-free", func(strategy string) (*pta.Result, error) {
 			c := max(1, gapFree.Len()/5)
-			return core.PTAcAblation(gapFree, c, core.Options{}, m)
+			return pta.Compress(gapFree, strategy, pta.Size(c), pta.Options{})
 		}},
 	}
 
-	var reference *core.DPResult
+	var reference *pta.Result
 	for _, w := range workloads {
 		reference = nil
 		for _, m := range modes {
-			var res *core.DPResult
+			var res *pta.Result
 			d, err := timeIt(func() error {
 				var err error
-				res, err = w.run(m)
+				res, err = w.run(m.strategy)
 				return err
 			})
 			if err != nil {
@@ -155,9 +158,9 @@ func runAblation(cfg Config) (*Table, error) {
 			if reference == nil {
 				reference = res
 			} else if diff := res.Error - reference.Error; diff > 1e-6*(1+reference.Error) || diff < -1e-6*(1+reference.Error) {
-				return nil, fmt.Errorf("ablation: mode %v changed the optimum: %v vs %v", m, res.Error, reference.Error)
+				return nil, fmt.Errorf("ablation: mode %v changed the optimum: %v vs %v", m.label, res.Error, reference.Error)
 			}
-			t.AddRow(w.name, m.String(),
+			t.AddRow(w.name, m.label,
 				fmt.Sprintf("%d", res.Stats.Cells),
 				fmt.Sprintf("%d", res.Stats.InnerIters),
 				fmtDur(d), fmtF(res.Error))

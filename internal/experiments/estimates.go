@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/pta"
 )
 
 func init() {
@@ -26,12 +26,12 @@ func runEstimates(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	seq := ws[0].Seq
-	exact, err := core.ExactEstimate(seq, core.Options{})
+	exact, err := pta.ExactEstimate(seq, pta.Options{})
 	if err != nil {
 		return nil, err
 	}
 	const eps = 0.05
-	gms, err := core.GMSError(seq, eps, core.Options{})
+	gms, err := pta.Compress(seq, "gms", pta.ErrorBound(eps), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -41,8 +41,9 @@ func runEstimates(cfg Config) (*Table, error) {
 		ID: "estimates", Title: fmt.Sprintf("gPTAε (ε=%.2f, δ=1) on T2 (n=%d) under scaled Êmax", eps, seq.Len()),
 		Header: []string{"estimate", "EMax_hat/EMax", "C", "max_heap", "error", "within_bound", "equals_GMS"},
 	}
-	addRow := func(label string, est core.Estimate) error {
-		res, err := core.GPTAe(core.NewSliceStream(seq), eps, 1, est, core.Options{})
+	addRow := func(label string, est pta.Estimate) error {
+		res, err := pta.Compress(seq, "gptae", pta.ErrorBound(eps),
+			pta.Options{ReadAhead: 1, Estimate: &est})
 		if err != nil {
 			return err
 		}
@@ -51,20 +52,20 @@ func runEstimates(cfg Config) (*Table, error) {
 			within = "NO"
 		}
 		same := "yes"
-		if res.C != gms.C || !res.Sequence.Equal(gms.Sequence, 1e-6) {
+		if res.C != gms.C || !res.Series.Equal(gms.Series, 1e-6) {
 			same = "no"
 		}
 		t.AddRow(label, fmtF(est.EMax/exact.EMax), fmt.Sprintf("%d", res.C),
-			fmt.Sprintf("%d", res.MaxHeap), fmtF(res.Error), within, same)
+			fmt.Sprintf("%d", res.Stats.MaxHeap), fmtF(res.Error), within, same)
 		return nil
 	}
 	for _, scale := range []float64{0.01, 0.1, 0.5, 1, 2, 10} {
-		est := core.Estimate{N: exact.N, EMax: exact.EMax * scale}
+		est := pta.Estimate{N: exact.N, EMax: exact.EMax * scale}
 		if err := addRow(fmt.Sprintf("%.2fx true", scale), est); err != nil {
 			return nil, err
 		}
 	}
-	sampled, err := core.RandomSampleEstimate(seq, 0.1, cfg.Seed, core.Options{})
+	sampled, err := pta.RandomSampleEstimate(seq, 0.1, cfg.Seed, pta.Options{})
 	if err != nil {
 		return nil, err
 	}

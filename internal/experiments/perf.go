@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/approx"
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/pta"
 )
 
 func init() {
@@ -35,10 +35,10 @@ func runFig18a(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var basic, pruned *core.DPResult
+		var basic, pruned *pta.Result
 		dBasic, err := timeIt(func() error {
 			var err error
-			basic, err = core.DPBasic(seq, c, core.Options{})
+			basic, err = pta.Compress(seq, "dpbasic", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -46,7 +46,7 @@ func runFig18a(cfg Config) (*Table, error) {
 		}
 		dPruned, err := timeIt(func() error {
 			var err error
-			pruned, err = core.PTAc(seq, c, core.Options{})
+			pruned, err = pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -75,10 +75,10 @@ func runFig18b(cfg Config) (*Table, error) {
 		}
 		c := min(cfg.scaled(250), seq.Len())
 		c = max(c, seq.CMin())
-		var basic, pruned *core.DPResult
+		var basic, pruned *pta.Result
 		dBasic, err := timeIt(func() error {
 			var err error
-			basic, err = core.DPBasic(seq, c, core.Options{})
+			basic, err = pta.Compress(seq, "dpbasic", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -86,7 +86,7 @@ func runFig18b(cfg Config) (*Table, error) {
 		}
 		dPruned, err := timeIt(func() error {
 			var err error
-			pruned, err = core.PTAc(seq, c, core.Options{})
+			pruned, err = pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -115,14 +115,14 @@ func runFig19(cfg Config) (*Table, error) {
 	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
 		c := max(cmin, int(frac*float64(seq.Len())))
 		dBasic, err := timeIt(func() error {
-			_, err := core.DPBasic(seq, c, core.Options{})
+			_, err := pta.Compress(seq, "dpbasic", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		dPruned, err := timeIt(func() error {
-			_, err := core.PTAc(seq, c, core.Options{})
+			_, err := pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -142,7 +142,7 @@ func runFig20a(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	deltas := []int{core.DeltaInf, 2, 1, 0}
+	deltas := []int{pta.ReadAheadInf, 2, 1, pta.ReadAheadEager}
 	t := &Table{
 		ID: "fig20a", Title: fmt.Sprintf("gPTAc maximal heap size; gap-free input n = %d", n),
 		Header: []string{"c", "δ=inf", "δ=2", "δ=1", "δ=0"},
@@ -150,11 +150,11 @@ func runFig20a(cfg Config) (*Table, error) {
 	for _, c := range logGrid(n) {
 		row := []string{fmt.Sprintf("%d", c)}
 		for _, d := range deltas {
-			res, err := core.GPTAc(core.NewSliceStream(seq), c, d, core.Options{})
+			res, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: d})
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%d", res.MaxHeap))
+			row = append(row, fmt.Sprintf("%d", res.Stats.MaxHeap))
 		}
 		t.AddRow(row...)
 	}
@@ -168,11 +168,11 @@ func runFig20b(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := core.ExactEstimate(seq, core.Options{})
+	est, err := pta.ExactEstimate(seq, pta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	deltas := []int{core.DeltaInf, 2, 1, 0}
+	deltas := []int{pta.ReadAheadInf, 2, 1, pta.ReadAheadEager}
 	t := &Table{
 		ID: "fig20b", Title: fmt.Sprintf("gPTAε result size and maximal heap size; gap-free input n = %d", n),
 		Header: []string{"eps", "C", "δ=inf", "δ=2", "δ=1", "δ=0"},
@@ -182,12 +182,13 @@ func runFig20b(cfg Config) (*Table, error) {
 		var size int
 		heaps := make([]string, 0, len(deltas))
 		for _, d := range deltas {
-			res, err := core.GPTAe(core.NewSliceStream(seq), eps, d, est, core.Options{})
+			res, err := pta.Compress(seq, "gptae", pta.ErrorBound(eps),
+				pta.Options{ReadAhead: d, Estimate: &est})
 			if err != nil {
 				return nil, err
 			}
 			size = res.C
-			heaps = append(heaps, fmt.Sprintf("%d", res.MaxHeap))
+			heaps = append(heaps, fmt.Sprintf("%d", res.Stats.MaxHeap))
 		}
 		row = append(row, fmt.Sprintf("%d", size))
 		row = append(row, heaps...)
@@ -221,7 +222,7 @@ func runFig21(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		c := max(1, n/10)
-		est, err := core.ExactEstimate(seq, core.Options{})
+		est, err := pta.ExactEstimate(seq, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +233,8 @@ func runFig21(cfg Config) (*Table, error) {
 		vals := series.Dims[0]
 
 		dGPTAe, err := timeIt(func() error {
-			_, err := core.GPTAe(core.NewSliceStream(seq), 0.65, 1, est, core.Options{})
+			_, err := pta.Compress(seq, "gptae", pta.ErrorBound(0.65),
+				pta.Options{ReadAhead: 1, Estimate: &est})
 			return err
 		})
 		if err != nil {
@@ -253,7 +255,7 @@ func runFig21(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		dGPTAc, err := timeIt(func() error {
-			_, err := core.GPTAc(core.NewSliceStream(seq), c, 1, core.Options{})
+			_, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: 1})
 			return err
 		})
 		if err != nil {

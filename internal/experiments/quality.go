@@ -5,11 +5,11 @@ import (
 	"math"
 
 	"repro/internal/approx"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ita"
 	"repro/internal/sta"
 	"repro/internal/temporal"
+	"repro/pta"
 )
 
 func init() {
@@ -70,7 +70,7 @@ func runFig1(Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ptaRes, err := core.PTAc(itaRes, 4, core.Options{})
+	ptaRes, err := pta.Compress(itaRes, "ptac", pta.Size(4), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func runFig1(Config) (*Table, error) {
 	}
 	emit("STA (b)", staRes)
 	emit("ITA (c)", itaRes)
-	emit("PTA c=4 (d)", ptaRes.Sequence)
+	emit("PTA c=4 (d)", ptaRes.Series)
 	t.AddNote("PTA error = %s (paper: 49166, Example 6)", fmtF(ptaRes.Error))
 	return t, nil
 }
@@ -177,30 +177,19 @@ func runFig2(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t.AddRow("Chebyshev", fmtF(pointSSE(chebRec)), fmt.Sprintf("%d coefs", budget))
-	// PAA with 10 intervals.
-	paaRec, err := approx.PAAReconstruct(vals, budget)
-	if err != nil {
-		return nil, err
+	// Segmentation methods, enumerated through the strategy registry under
+	// the same shared budget.
+	for _, spec := range []struct{ strategy, label string }{
+		{"paa", "PAA"}, {"apca", "APCA"}, {"pla", "PLA"},
+		{"ptac", "PTA"}, {"gptac", "gPTAc"},
+	} {
+		res, err := pta.Compress(seq, spec.strategy, pta.Size(budget),
+			pta.Options{ReadAhead: pta.ReadAheadInf})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.label, fmtF(res.Error), fmt.Sprintf("%d segments", res.C))
 	}
-	t.AddRow("PAA", fmtF(pointSSE(paaRec)), fmt.Sprintf("%d segments", budget))
-	// APCA with 10 segments.
-	apcaSegs, err := approx.APCA(vals, budget, series.Start)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("APCA", fmtF(series.SSESegments(apcaSegs, nil)), fmt.Sprintf("%d segments", len(apcaSegs)))
-	// Exact PTA with 10 tuples.
-	pta, err := core.PTAc(seq, budget, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("PTA", fmtF(pta.Error), fmt.Sprintf("%d tuples", pta.C))
-	// Greedy PTA with 10 tuples.
-	g, err := core.GPTAc(core.NewSliceStream(seq), budget, core.DeltaInf, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("gPTAc", fmtF(g.Error), fmt.Sprintf("%d tuples", g.C))
 
 	t.AddNote("paper (Fig. 2, different excerpt): DWT 2903, DFT 669, Chebyshev 17257, PAA 2516, APCA 2573, PTA 109, gPTAc 119")
 	t.AddNote("the load-bearing shape: PTA < gPTAc << every step-function baseline (DWT, PAA, APCA)")
@@ -217,7 +206,7 @@ func runFig4Fig5(Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	em, jm, err := core.Matrices(seq, 4, core.Options{})
+	em, jm, err := pta.Matrices(seq, 4, pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -255,11 +244,11 @@ func runFig9(Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt, err := core.PTAc(seq, 4, core.Options{})
+	opt, err := pta.Compress(seq, "ptac", pta.Size(4), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := core.GMS(seq, 4, core.Options{})
+	greedy, err := pta.Compress(seq, "gms", pta.Size(4), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -277,8 +266,8 @@ func runFig9(Config) (*Table, error) {
 		}
 		return s
 	}
-	t.AddRow("PTAc", fmtF(opt.Error), render(opt.Sequence))
-	t.AddRow("GMS", fmtF(greedy.Error), render(greedy.Sequence))
+	t.AddRow("PTAc", fmtF(opt.Error), render(opt.Series))
+	t.AddRow("GMS", fmtF(greedy.Error), render(greedy.Series))
 	t.AddRow("ratio", fmtF(greedy.Error/opt.Error), "")
 	t.AddNote("paper (Example 17): optimal 49166, greedy 63000, ratio 1.28")
 	return t, nil
@@ -311,17 +300,17 @@ func runFig14a(cfg Config) (*Table, error) {
 	}
 	infos := make([]curveInfo, len(ws))
 	for i, w := range ws {
-		px, err := core.NewPrefix(w.Seq, core.Options{})
+		emax, err := pta.MaxError(w.Seq, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
 		n, cmin := w.Seq.Len(), w.Seq.CMin()
 		kmax := kForReduction(n, cmin, ratios[0])
-		curve, err := core.ErrorCurve(w.Seq, kmax, core.Options{})
+		curve, err := pta.ErrorCurve(w.Seq, kmax, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
-		infos[i] = curveInfo{curve: curve, emax: px.MaxError(), n: n, cmin: cmin}
+		infos[i] = curveInfo{curve: curve, emax: emax, n: n, cmin: cmin}
 	}
 	for _, r := range ratios {
 		row := []string{fmtF(r)}
@@ -367,16 +356,16 @@ func runFig14b(cfg Config) (*Table, error) {
 			rows[j] = temporal.SeqRow{Group: r.Group, Aggs: r.Aggs[:d], T: r.T}
 		}
 		proj.Rows = rows
-		px, err := core.NewPrefix(proj, core.Options{})
+		emax, err := pta.MaxError(proj, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
-		curve, err := core.ErrorCurve(proj, proj.Len(), core.Options{})
+		curve, err := pta.ErrorCurve(proj, proj.Len(), pta.Options{})
 		if err != nil {
 			return nil, err
 		}
 		curves[i] = curve
-		emaxs[i] = px.MaxError()
+		emaxs[i] = emax
 	}
 	for _, r := range ratios {
 		row := []string{fmtF(r)}
@@ -405,11 +394,10 @@ func runFig15(cfg Config) (*Table, error) {
 	}
 	seq := ws[0].Seq
 	n, cmin := seq.Len(), seq.CMin()
-	px, err := core.NewPrefix(seq, core.Options{})
+	emax, err := pta.MaxError(seq, pta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	emax := px.MaxError()
 	series, err := approx.FromSequence(seq)
 	if err != nil {
 		return nil, err
@@ -418,7 +406,7 @@ func runFig15(cfg Config) (*Table, error) {
 
 	ratios := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99}
 	kmax := kForReduction(n, cmin, ratios[0])
-	curve, err := core.ErrorCurve(seq, kmax, core.Options{})
+	curve, err := pta.ErrorCurve(seq, kmax, pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -431,7 +419,7 @@ func runFig15(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	atcBySize, err := approx.ATCSweep(seq, ths, nil, func(z *temporal.Sequence) (float64, error) {
-		return core.SSEBetween(seq, z, core.Options{})
+		return pta.SSE(seq, z, pta.Options{})
 	})
 	if err != nil {
 		return nil, err
@@ -459,34 +447,26 @@ func runFig15(cfg Config) (*Table, error) {
 	for _, r := range ratios {
 		c := kForReduction(n, cmin, r)
 		opt := curve[c-1]
-		g, err := core.GPTAc(core.NewSliceStream(seq), c, core.DeltaInf, core.Options{})
+		g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
 		if err != nil {
 			return nil, err
 		}
 		atcErr, _ := nearestATC(c)
-		apcaSegs, err := approx.APCA(vals, c, series.Start)
+		apcaRes, err := pta.Compress(seq, "apca", pta.Size(c), pta.Options{})
 		if err != nil {
 			return nil, err
 		}
-		apcaErr := series.SSESegments(apcaSegs, nil)
+		apcaErr := apcaRes.Error
 		dwtRec, _, err := approx.DWTWithSegments(vals, c)
 		if err != nil {
 			return nil, err
 		}
-		var dwtErr float64
-		for i, v := range vals {
-			d := v - dwtRec[i]
-			dwtErr += d * d
-		}
-		paaRec, err := approx.PAAReconstruct(vals, c)
+		dwtErr := pointSSE(vals, dwtRec)
+		paaRes, err := pta.Compress(seq, "paa", pta.Size(c), pta.Options{})
 		if err != nil {
 			return nil, err
 		}
-		var paaErr float64
-		for i, v := range vals {
-			d := v - paaRec[i]
-			paaErr += d * d
-		}
+		paaErr := paaRes.Error
 		pct := func(e float64) string { return fmtF(100 * e / emax) }
 		ratio := func(e float64) string {
 			if opt <= 0 {
@@ -544,11 +524,10 @@ func runFig16(cfg Config) (*Table, error) {
 // fig16Row computes the average error ratios of one query.
 func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) ([]string, error) {
 	n, cmin := seq.Len(), seq.CMin()
-	px, err := core.NewPrefix(seq, core.Options{})
+	emax, err := pta.MaxError(seq, pta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	emax := px.MaxError()
 	grid := make([]int, 0, 12)
 	for _, r := range []float64{15, 25, 35, 45, 55, 65, 75, 85, 92, 97} {
 		c := kForReduction(n, cmin, r)
@@ -562,7 +541,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 	baseline := make(map[int]float64, len(grid))
 	if big {
 		for _, c := range grid {
-			g, err := core.GPTAc(core.NewSliceStream(seq), c, core.DeltaInf, core.Options{})
+			g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
 			if err != nil {
 				return nil, err
 			}
@@ -573,7 +552,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 		for _, c := range grid {
 			maxC = max(maxC, c)
 		}
-		curve, err := core.ErrorCurve(seq, maxC, core.Options{})
+		curve, err := pta.ErrorCurve(seq, maxC, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -588,16 +567,15 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 		return nil, err
 	}
 	atcBySize, err := approx.ATCSweep(seq, ths, nil, func(z *temporal.Sequence) (float64, error) {
-		return core.SSEBetween(seq, z, core.Options{})
+		return pta.SSE(seq, z, pta.Options{})
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var series *approx.Series
 	var vals []float64
 	if timeSeries {
-		series, err = approx.FromSequence(seq)
+		series, err := approx.FromSequence(seq)
 		if err != nil {
 			return nil, err
 		}
@@ -623,7 +601,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 			continue // ratio unstable where the optimum is ~exact
 		}
 		if !big {
-			g, err := core.GPTAc(core.NewSliceStream(seq), c, core.DeltaInf, core.Options{})
+			g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
 			if err != nil {
 				return nil, err
 			}
@@ -635,21 +613,21 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 			add(&atc, best/opt)
 		}
 		if timeSeries {
-			segs, err := approx.APCA(vals, c, series.Start)
+			apcaRes, err := pta.Compress(seq, "apca", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
-			add(&apca, series.SSESegments(segs, nil)/opt)
+			add(&apca, apcaRes.Error/opt)
 			rec, _, err := approx.DWTWithSegments(vals, c)
 			if err != nil {
 				return nil, err
 			}
 			add(&dwt, pointSSE(vals, rec)/opt)
-			paaRec, err := approx.PAAReconstruct(vals, c)
+			paaRes, err := pta.Compress(seq, "paa", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
-			add(&paa, pointSSE(vals, paaRec)/opt)
+			add(&paa, paaRes.Error/opt)
 			m := min(c, 1000) // the paper caps Chebyshev budgets
 			chebRec, err := approx.Chebyshev(vals, m)
 			if err != nil {
@@ -703,20 +681,14 @@ func pointSSE(vals, rec []float64) float64 {
 
 func runFig17(cfg Config) (*Table, error) {
 	names := []string{"E1", "E2", "E3", "I1", "I2", "I3", "T1", "T2", "T3"}
-	deltas := []int{0, 1, 2, core.DeltaInf}
-	deltaName := func(d int) string {
-		if d == core.DeltaInf {
-			return "inf"
-		}
-		return fmt.Sprintf("%d", d)
-	}
+	// δ settings in pta.Options.ReadAhead convention: 0, 1, 2, ∞.
+	deltas := []int{pta.ReadAheadEager, 1, 2, pta.ReadAheadInf}
 	t := &Table{
 		ID: "fig17", Title: "average error ratio of gPTAc and gPTAε by δ",
 		Header: []string{"query",
 			"gPTAc δ=0", "gPTAc δ=1", "gPTAc δ=2", "gPTAc δ=inf",
 			"gPTAe δ=0", "gPTAe δ=1", "gPTAe δ=2", "gPTAe δ=inf"},
 	}
-	_ = deltaName
 	for _, name := range names {
 		ws, err := Workloads(cfg, name)
 		if err != nil {
@@ -724,12 +696,11 @@ func runFig17(cfg Config) (*Table, error) {
 		}
 		seq := ws[0].Seq
 		n, cmin := seq.Len(), seq.CMin()
-		px, err := core.NewPrefix(seq, core.Options{})
+		emax, err := pta.MaxError(seq, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
-		emax := px.MaxError()
-		est := core.Estimate{N: n, EMax: emax}
+		est := pta.Estimate{N: n, EMax: emax}
 
 		grid := make([]int, 0, 8)
 		for _, r := range []float64{30, 50, 70, 85, 93, 97} {
@@ -742,7 +713,7 @@ func runFig17(cfg Config) (*Table, error) {
 		for _, c := range grid {
 			maxC = max(maxC, c)
 		}
-		curve, err := core.ErrorCurve(seq, maxC, core.Options{})
+		curve, err := pta.ErrorCurve(seq, maxC, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -757,7 +728,7 @@ func runFig17(cfg Config) (*Table, error) {
 				if opt <= 1e-9*emax {
 					continue
 				}
-				g, err := core.GPTAc(core.NewSliceStream(seq), c, d, core.Options{})
+				g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: d})
 				if err != nil {
 					return nil, err
 				}
@@ -773,7 +744,7 @@ func runFig17(cfg Config) (*Table, error) {
 		// Error-bounded: ratio to PTAε over an ε grid (exact estimates, as
 		// in Section 7.2.2).
 		epsGrid := []float64{0.001, 0.01, 0.05, 0.2, 0.5}
-		fullCurve, err := core.ErrorCurve(seq, n, core.Options{})
+		fullCurve, err := pta.ErrorCurve(seq, n, pta.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -794,7 +765,8 @@ func runFig17(cfg Config) (*Table, error) {
 				if opt <= 1e-9*emax {
 					continue
 				}
-				g, err := core.GPTAe(core.NewSliceStream(seq), eps, d, est, core.Options{})
+				g, err := pta.Compress(seq, "gptae", pta.ErrorBound(eps),
+					pta.Options{ReadAhead: d, Estimate: &est})
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/pta"
+)
+
+func init() {
+	register("strategies", "Unified evaluator registry: every strategy under both budget kinds", runStrategies)
+}
+
+// runStrategies enumerates the pta strategy registry — no hand-rolled switch
+// over algorithms — and runs every evaluator on the T1 workload under a size
+// budget and an error budget. It is the conformance table of the facade: one
+// row per registered strategy, "n/a" where a budget kind or the series shape
+// is unsupported, and the wall-clock and error cost of each.
+func runStrategies(cfg Config) (*Table, error) {
+	ws, err := Workloads(cfg, "T1")
+	if err != nil {
+		return nil, err
+	}
+	seq := ws[0].Seq
+	n, cmin := seq.Len(), seq.CMin()
+	c := max(cmin, n/10)
+	const eps = 0.05
+	emax, err := pta.MaxError(seq, pta.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "strategies",
+		Title: fmt.Sprintf("registry sweep on T1 (n=%d): %v and %v", n, pta.Size(c), pta.ErrorBound(eps)),
+		Header: []string{"strategy", "stream",
+			"size_C", "size_err%", "size_ms", "eps_C", "eps_err%", "eps_ms"},
+	}
+	for _, info := range pta.Describe() {
+		row := []string{info.Name, boolCell(info.Streaming)}
+		for _, b := range []pta.Budget{pta.Size(c), pta.ErrorBound(eps)} {
+			var res *pta.Result
+			d, err := timeIt(func() error {
+				var cerr error
+				res, cerr = pta.Compress(seq, info.Name, b, pta.Options{})
+				return cerr
+			})
+			switch {
+			case errors.Is(err, pta.ErrBudgetKind), errors.Is(err, pta.ErrSeriesShape):
+				row = append(row, "n/a", "n/a", "n/a")
+				continue
+			case err != nil:
+				return nil, fmt.Errorf("strategies: %s under %v: %v", info.Name, b, err)
+			}
+			row = append(row, fmt.Sprintf("%d", res.C),
+				fmtF(100*res.Error/emax), fmtDur(d))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("size budget: every C ≤ %d; error budget: every err%% ≤ %s (the shared conformance contract)", c, fmtF(100*eps))
+	t.AddNote("exact strategies minimize err%% at fixed C (size) and C at fixed err%% (error); baselines trail")
+	return t, nil
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
+}

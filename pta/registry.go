@@ -1,0 +1,120 @@
+package pta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors of the facade, matchable with errors.Is.
+var (
+	// ErrUnknownStrategy reports a strategy name absent from the registry.
+	ErrUnknownStrategy = errors.New("unknown strategy")
+	// ErrBudgetKind reports a budget kind the strategy does not support.
+	ErrBudgetKind = errors.New("unsupported budget kind")
+	// ErrNotStreaming reports a CompressStream call on a strategy that
+	// needs its whole input in memory.
+	ErrNotStreaming = errors.New("strategy is not stream-capable")
+	// ErrSeriesShape reports an input outside a strategy's applicability:
+	// the classic time-series baselines need a single-group, gap-free,
+	// one-dimensional series.
+	ErrSeriesShape = errors.New("series shape unsupported by strategy")
+)
+
+// Evaluator is a named compression strategy. Implementations are registered
+// with Register and resolved by name through Compress; they must be safe for
+// concurrent use.
+type Evaluator interface {
+	// Name is the registry key, e.g. "ptac".
+	Name() string
+	// Description is a one-line human-readable summary.
+	Description() string
+	// Supports reports whether the strategy accepts the budget kind.
+	Supports(k BudgetKind) bool
+	// Evaluate compresses an in-memory series under the budget. The
+	// returned Result carries the reduced series and its true error;
+	// Compress stamps Strategy and Budget.
+	Evaluate(s *Series, b Budget, opts Options) (*Result, error)
+}
+
+// StreamEvaluator is an Evaluator that can also compress a row stream in
+// bounded memory, merging while rows are still being produced.
+type StreamEvaluator interface {
+	Evaluator
+	// EvaluateStream compresses the stream under the budget. Error budgets
+	// require Options.Estimate.
+	EvaluateStream(src Stream, b Budget, opts Options) (*Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Evaluator{}
+)
+
+// Register adds a strategy to the registry. It panics on an empty or
+// duplicate name — registration is a program-initialization concern.
+func Register(e Evaluator) {
+	name := e.Name()
+	if name == "" {
+		panic("pta: Register with empty strategy name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("pta: Register called twice for strategy %q", name))
+	}
+	registry[name] = e
+}
+
+// Lookup resolves a strategy by name.
+func Lookup(name string) (Evaluator, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Strategies returns the sorted names of every registered strategy.
+func Strategies() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StrategyInfo describes one registry entry for listings (CLI -list,
+// benchmark tables).
+type StrategyInfo struct {
+	// Name is the registry key.
+	Name string
+	// Description is the strategy's one-line summary.
+	Description string
+	// Size and Error report the supported budget kinds.
+	Size, Error bool
+	// Streaming reports StreamEvaluator capability.
+	Streaming bool
+}
+
+// Describe returns the registry as sorted StrategyInfo records.
+func Describe() []StrategyInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]StrategyInfo, 0, len(registry))
+	for _, e := range registry {
+		_, streaming := e.(StreamEvaluator)
+		out = append(out, StrategyInfo{
+			Name:        e.Name(),
+			Description: e.Description(),
+			Size:        e.Supports(BudgetSize),
+			Error:       e.Supports(BudgetError),
+			Streaming:   streaming,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

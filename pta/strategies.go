@@ -1,0 +1,203 @@
+package pta
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// funcEvaluator adapts per-budget-kind functions to the Evaluator interface.
+// A nil function means the kind is unsupported.
+type funcEvaluator struct {
+	name, desc string
+	size       func(s *Series, c int, opts Options) (*Result, error)
+	errb       func(s *Series, eps float64, opts Options) (*Result, error)
+}
+
+func (f *funcEvaluator) Name() string        { return f.name }
+func (f *funcEvaluator) Description() string { return f.desc }
+
+func (f *funcEvaluator) Supports(k BudgetKind) bool {
+	switch k {
+	case BudgetSize:
+		return f.size != nil
+	case BudgetError:
+		return f.errb != nil
+	}
+	return false
+}
+
+func (f *funcEvaluator) Evaluate(s *Series, b Budget, opts Options) (*Result, error) {
+	switch b.Kind() {
+	case BudgetSize:
+		if f.size == nil {
+			return nil, ErrBudgetKind
+		}
+		return f.size(s, b.C(), opts)
+	case BudgetError:
+		if f.errb == nil {
+			return nil, ErrBudgetKind
+		}
+		return f.errb(s, b.Eps(), opts)
+	}
+	return nil, ErrBudgetKind
+}
+
+// streamFuncEvaluator additionally serves streams.
+type streamFuncEvaluator struct {
+	funcEvaluator
+	streamSize func(src Stream, c int, opts Options) (*Result, error)
+	streamErrb func(src Stream, eps float64, opts Options) (*Result, error)
+}
+
+func (f *streamFuncEvaluator) EvaluateStream(src Stream, b Budget, opts Options) (*Result, error) {
+	switch b.Kind() {
+	case BudgetSize:
+		if f.streamSize == nil {
+			return nil, ErrBudgetKind
+		}
+		return f.streamSize(src, b.C(), opts)
+	case BudgetError:
+		if f.streamErrb == nil {
+			return nil, ErrBudgetKind
+		}
+		return f.streamErrb(src, b.Eps(), opts)
+	}
+	return nil, ErrBudgetKind
+}
+
+// fromDP packages an exact-evaluation outcome.
+func fromDP(res *core.DPResult, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Series: res.Sequence,
+		C:      res.C,
+		Error:  res.Error,
+		Stats:  Stats{Cells: res.Stats.Cells, InnerIters: res.Stats.InnerIters},
+	}, nil
+}
+
+// fromGreedy packages a greedy-evaluation outcome.
+func fromGreedy(res *core.GreedyResult, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Series: res.Sequence,
+		C:      res.C,
+		Error:  res.Error,
+		Stats:  Stats{Merges: res.Merges, MaxHeap: res.MaxHeap, ReadAhead: res.ReadAhead},
+	}, nil
+}
+
+// resolveEstimate yields the (N, EMax) estimate for an error-bounded greedy
+// run: the caller's override when set, the exact values otherwise.
+func resolveEstimate(s *Series, opts Options) (Estimate, error) {
+	if opts.Estimate != nil {
+		return *opts.Estimate, nil
+	}
+	return core.ExactEstimate(s, opts.coreOptions())
+}
+
+// dpStrategy builds an exact dynamic-programming evaluator for one pruning
+// mode.
+func dpStrategy(name, desc string, mode core.PruneMode) *funcEvaluator {
+	return &funcEvaluator{
+		name: name, desc: desc,
+		size: func(s *Series, c int, opts Options) (*Result, error) {
+			return fromDP(core.PTAcAblation(s, c, opts.coreOptions(), mode))
+		},
+		errb: func(s *Series, eps float64, opts Options) (*Result, error) {
+			return fromDP(core.PTAeAblation(s, eps, opts.coreOptions(), mode))
+		},
+	}
+}
+
+func init() {
+	// Exact dynamic programming (Section 5). "ptac" and "ptae" are the
+	// paper's named entry points; both resolve to the same pruned DP engine
+	// and accept both budget kinds.
+	Register(dpStrategy("ptac",
+		"exact size-bounded DP with gap/group pruning (PTAc, Fig. 7)", core.PruneBoth))
+	Register(dpStrategy("ptae",
+		"exact error-bounded DP with gap/group pruning (PTAe, Fig. 8)", core.PruneBoth))
+	Register(dpStrategy("dpbasic",
+		"exact DP without search-space pruning (Section 5.1 baseline)", core.PruneNone))
+	Register(dpStrategy("ptac-imax",
+		"exact DP, column bound imax only (Section 5.3 ablation)", core.PruneIMax))
+	Register(dpStrategy("ptac-jmin",
+		"exact DP, split-point bound jmin only (Section 5.3 ablation)", core.PruneJMin))
+
+	// Run-decomposed multicore exact evaluation (engineering extension).
+	Register(&funcEvaluator{
+		name: "ptac-parallel",
+		desc: "exact DP decomposed over maximal runs, evaluated on all cores",
+		size: func(s *Series, c int, opts Options) (*Result, error) {
+			return fromDP(core.PTAcParallel(s, c, opts.coreOptions(), 0))
+		},
+	})
+
+	// Greedy merging strategy (Section 6.1).
+	Register(&funcEvaluator{
+		name: "gms",
+		desc: "greedy merging of the most similar adjacent pair (GMS, Theorem 1)",
+		size: func(s *Series, c int, opts Options) (*Result, error) {
+			return fromGreedy(core.GMS(s, c, opts.coreOptions()))
+		},
+		errb: func(s *Series, eps float64, opts Options) (*Result, error) {
+			return fromGreedy(core.GMSError(s, eps, opts.coreOptions()))
+		},
+	})
+
+	// Gap-bridging greedy merging (the paper's first future-work item):
+	// merges may cross temporal gaps within a group, so sizes below cmin
+	// (down to the group count) become reachable.
+	Register(&funcEvaluator{
+		name: "gms-bridged",
+		desc: "greedy merging that may bridge temporal gaps within a group",
+		size: func(s *Series, c int, opts Options) (*Result, error) {
+			return fromGreedy(core.GMSBridged(s, c, opts.coreOptions()))
+		},
+	})
+
+	// Streaming greedy evaluators with δ read-ahead (Section 6.2). Both
+	// accept both budget kinds; they differ in which bound they stream
+	// natively and serve as each other's dual for the opposite kind.
+	gptacSize := func(src Stream, c int, opts Options) (*Result, error) {
+		return fromGreedy(core.GPTAc(src, c, opts.delta(), opts.coreOptions()))
+	}
+	gptaeErrb := func(src Stream, eps float64, opts Options) (*Result, error) {
+		if opts.Estimate == nil {
+			return nil, fmt.Errorf("error-bounded streaming needs Options.Estimate (N, EMax)")
+		}
+		return fromGreedy(core.GPTAe(src, eps, opts.delta(), *opts.Estimate, opts.coreOptions()))
+	}
+	memSize := func(s *Series, c int, opts Options) (*Result, error) {
+		return gptacSize(NewStream(s), c, opts)
+	}
+	memErrb := func(s *Series, eps float64, opts Options) (*Result, error) {
+		est, err := resolveEstimate(s, opts)
+		if err != nil {
+			return nil, err
+		}
+		return fromGreedy(core.GPTAe(NewStream(s), eps, opts.delta(), est, opts.coreOptions()))
+	}
+	Register(&streamFuncEvaluator{
+		funcEvaluator: funcEvaluator{
+			name: "gptac",
+			desc: "streaming greedy, size-bounded, δ read-ahead (gPTAc, Fig. 11)",
+			size: memSize, errb: memErrb,
+		},
+		streamSize: gptacSize, streamErrb: gptaeErrb,
+	})
+	Register(&streamFuncEvaluator{
+		funcEvaluator: funcEvaluator{
+			name: "gptae",
+			desc: "streaming greedy, error-bounded via (N̂, Êmax) estimates (gPTAε, Fig. 13)",
+			size: memSize, errb: memErrb,
+		},
+		streamSize: gptacSize, streamErrb: gptaeErrb,
+	})
+}
