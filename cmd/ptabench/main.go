@@ -17,14 +17,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/pta"
 )
 
 // jsonTable is the machine-readable rendering of one experiment outcome.
@@ -47,6 +52,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = reproduction scale)")
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
 		quick    = flag.Bool("quick", false, "tiny smoke-test sizes")
+		parallel = flag.Int("parallel", 1, "engine worker goroutines for group-parallel strategies (0 = all cores)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonMode = flag.Bool("json", false, "emit a JSON array of tables on stdout instead of text")
 	)
@@ -59,7 +65,18 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	// SIGINT/SIGTERM cancel the run context: the active experiment aborts
+	// mid-evaluation and the harness exits with a clean message instead of
+	// dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	engine, err := pta.New(pta.WithParallelism(*parallel))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, Engine: engine}
 	var ids []string
 	switch {
 	case *all:
@@ -81,8 +98,12 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		tab, err := e.Run(cfg)
+		tab, err := e.Run(ctx, cfg)
 		if err != nil {
+			if errors.Is(err, pta.ErrCanceled) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "ptabench: interrupted during %s\n", id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "ptabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}

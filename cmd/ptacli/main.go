@@ -1,6 +1,11 @@
 // Command ptacli runs temporal aggregation queries over CSV relations: ITA
 // (instant), STA (span), and parsimonious compression through the public
-// pta facade — any registered strategy, under a size or error budget.
+// pta engine — any registered strategy, under a size or error budget,
+// optionally group-parallel (-parallel).
+//
+// SIGINT/SIGTERM cancel the evaluation context: a long compression aborts
+// mid-matrix and the command exits with a clean message and status 130
+// instead of dying mid-write.
 //
 // The input format is the one produced by internal/csvio: a header of
 // name:kind columns followed by tstart,tend, e.g.
@@ -14,15 +19,20 @@
 //	ptacli -in proj.csv -group Proj -agg avg:Sal ita
 //	ptacli -in proj.csv -group Proj -agg avg:Sal -budget c=4 pta
 //	ptacli -in proj.csv -group Proj -agg avg:Sal -strategy gms -budget eps=0.2 pta
+//	ptacli -in proj.csv -group Proj -agg avg:Sal -c 4 -parallel 4 pta
 //	ptacli -in proj.csv -group Proj -agg avg:Sal -c 4 -delta 1 gpta
 //	ptacli -in proj.csv -group Proj -agg avg:Sal -span 4 sta
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/csvio"
 	"repro/internal/ita"
@@ -42,6 +52,7 @@ func main() {
 		c        = flag.Int("c", 0, "size budget shorthand (same as -budget c=N)")
 		eps      = flag.Float64("eps", -1, "error budget shorthand (same as -budget eps=X)")
 		delta    = flag.Int("delta", 1, "read-ahead δ for streaming strategies (-1 = ∞)")
+		parallel = flag.Int("parallel", 1, "engine worker goroutines for group-parallel strategies (0 = all cores)")
 		span     = flag.Int64("span", 0, "span width for sta")
 		list     = flag.Bool("list-strategies", false, "list registered compression strategies and exit")
 	)
@@ -56,6 +67,16 @@ func main() {
 		os.Exit(2)
 	}
 	op := flag.Arg(0)
+
+	// SIGINT/SIGTERM cancel the evaluation context; the running strategy
+	// observes the cancellation inside its DP or merge loops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	engine, err := pta.New(pta.WithParallelism(*parallel))
+	if err != nil {
+		fail(err)
+	}
 
 	rel, err := csvio.LoadRelationFile(*in)
 	if err != nil {
@@ -96,7 +117,11 @@ func main() {
 		if ierr != nil {
 			fail(ierr)
 		}
-		res, cerr := pta.Compress(seq, name, b, pta.Options{ReadAhead: readAhead(*delta)})
+		res, cerr := engine.Compress(ctx, seq, pta.Plan{
+			Strategy: name,
+			Budget:   b,
+			Options:  &pta.Options{ReadAhead: readAhead(*delta)},
+		})
 		if cerr != nil {
 			fail(cerr)
 		}
@@ -130,7 +155,11 @@ func main() {
 		if ierr != nil {
 			fail(ierr)
 		}
-		res, cerr := pta.CompressStream(it, name, b, opts)
+		res, cerr := engine.CompressStream(ctx, it, pta.Plan{
+			Strategy: name,
+			Budget:   b,
+			Options:  &opts,
+		}, nil)
 		if cerr != nil {
 			fail(cerr)
 		}
@@ -144,6 +173,10 @@ func main() {
 		fail(err)
 	}
 
+	// Never start writing the output of an interrupted run.
+	if err := ctx.Err(); err != nil {
+		fail(err)
+	}
 	if *out != "" {
 		if err := csvio.SaveSequenceFile(*out, result); err != nil {
 			fail(err)
@@ -221,7 +254,13 @@ func parseQuery(group, aggs string) (ita.Query, error) {
 	return q, nil
 }
 
+// fail reports the error and exits: status 130 with a clean "interrupted"
+// message when the run was canceled by a signal, status 1 otherwise.
 func fail(err error) {
+	if errors.Is(err, pta.ErrCanceled) || errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptacli: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintf(os.Stderr, "ptacli: %v\n", err)
 	os.Exit(1)
 }

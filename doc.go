@@ -1,15 +1,48 @@
 // Package repro is a from-scratch Go reproduction of "Parsimonious Temporal
-// Aggregation" (Gordevicius, Gamper, Böhlen; EDBT 2009 / VLDB Journal 2012).
+// Aggregation" (Gordevicius, Gamper, Böhlen; EDBT 2009 / VLDB Journal 2012),
+// grown toward a production-scale temporal aggregation system.
 //
-// The public entry point is the root-level pta package: a Series/Result data
-// model over sequential relations, a Budget type unifying the paper's size
-// bound c and error bound ε, and a named strategy registry behind one
-// Evaluator interface — the exact dynamic programs (PTAc, PTAe, the unpruned
-// DPBasic and the Section 5.3 ablation modes), the greedy strategies (GMS,
-// gap-bridging GMS), the streaming evaluators with δ read-ahead (gPTAc,
-// gPTAε), and the classic time-series baselines (PAA, PLA, APCA) adapted to
-// the same interface. pta.Compress resolves a strategy by name;
-// pta.Strategies lists the registry. See README.md for a quickstart.
+// The public entry point is the root-level pta package, organized around a
+// reusable, concurrency-safe Engine:
+//
+//	eng, _ := pta.New(
+//	    pta.WithWeights([]float64{1, 25}),   // per-aggregate error weights
+//	    pta.WithParallelism(4),              // group-parallel exact DP
+//	)
+//	res, err := eng.Compress(ctx, series, pta.Plan{Strategy: "ptac", Budget: pta.Size(12)})
+//
+// New configures the engine with functional options (WithWeights,
+// WithParallelism, WithReadAhead, WithEstimator, WithScratchPool). Engine
+// methods take a context — long dynamic programs abort promptly on
+// cancellation — and reuse pooled DP scratch buffers across calls:
+//
+//   - Compress evaluates one Plan (a strategy name plus a Budget: the size
+//     bound pta.Size(c) or the error bound pta.ErrorBound(eps)). With
+//     parallelism above one, eligible exact strategies decompose the series
+//     over its maximal adjacent runs — aggregation groups compress
+//     independently per the sequential-relation model — and combine the
+//     per-run optima exactly on a bounded worker pool.
+//   - CompressMany serves several budgets of the same series; exact-DP
+//     plans share one filling of the error/split-point matrices, the cheap
+//     way to serve multiple resolutions of one series.
+//   - CompressStream compresses a row stream in bounded memory and pushes
+//     the result rows into a Sink, the serving-side push interface.
+//
+// Failures are typed: ErrUnknownStrategy, ErrBudgetInfeasible, ErrCanceled,
+// ErrBudgetKind, ErrNotStreaming and ErrSeriesShape are errors.Is-able
+// sentinels, and the concrete UnknownStrategyError, InfeasibleBudgetError
+// and CanceledError carry the offending name, bound or cause for errors.As.
+// The pre-Engine entry points pta.Compress and pta.CompressStream remain as
+// thin wrappers over a lazily-initialized serial default engine, so
+// existing callers keep compiling.
+//
+// The strategy registry behind one Evaluator interface covers the exact
+// dynamic programs (PTAc, PTAe, the unpruned DPBasic and the Section 5.3
+// ablation modes), the greedy strategies (GMS, gap-bridging GMS), the
+// streaming evaluators with δ read-ahead (gPTAc, gPTAε), the age-weighted
+// amnesic reduction ("amnesic", after Palpanas et al.), and the classic
+// time-series baselines (PAA, PLA, APCA) adapted to the same interface.
+// pta.Strategies lists the registry; see README.md for a quickstart.
 //
 // The implementation lives under internal/: the temporal relational model
 // (internal/temporal), instant and span temporal aggregation (internal/ita,

@@ -8,16 +8,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/amnesic"
 	"repro/internal/dataset"
 	"repro/internal/temporal"
 	"repro/pta"
 )
 
 func main() {
+	ctx := context.Background()
 	// A day of per-minute latency-like measurements (Mackey-Glass chaos
 	// makes a plausible bursty metric).
 	series, err := dataset.Chaotic(1440)
@@ -27,15 +28,30 @@ func main() {
 	now := temporal.Chronon(series.Len() - 1)
 	const budget = 48 // one segment per half hour, on average
 
-	// Uniform PTA: minimal total error, agnostic of age.
-	uniform, err := pta.Compress(series, "gptac", pta.Size(budget), pta.Options{ReadAhead: 1})
+	engine, err := pta.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Amnesic reduction: errors in the oldest hours are forgiven ~3000×
-	// more than errors right now (RA grows to ~2900 at the oldest sample).
-	am, err := amnesic.ReduceSize(series, budget, amnesic.LinearAge(now, 2.0))
+	// Uniform PTA: minimal total error, agnostic of age.
+	uniform, err := engine.Compress(ctx, series, pta.Plan{
+		Strategy: "gptac",
+		Budget:   pta.Size(budget),
+		Options:  &pta.Options{ReadAhead: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Amnesic reduction through the same registry — only the strategy name
+	// and the amnesic function change: errors in the oldest hours are
+	// forgiven ~3000× more than errors right now (RA grows to ~2900 at the
+	// oldest sample).
+	am, err := engine.Compress(ctx, series, pta.Plan{
+		Strategy: "amnesic",
+		Budget:   pta.Size(budget),
+		Options:  &pta.Options{Amnesic: pta.AmnesicLinearAge(now, 2.0)},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,14 +69,14 @@ func main() {
 	for _, b := range buckets {
 		fmt.Printf("%-22s %-14d %-14d\n", b.label+" segments",
 			segmentsIn(uniform.Series, b.start, b.end),
-			segmentsIn(am.Sequence, b.start, b.end))
+			segmentsIn(am.Series, b.start, b.end))
 	}
 	fmt.Printf("\ntotal squared error: uniform %.1f, amnesic %.1f (amnesic shifts error into the past)\n",
 		uniform.Error, am.Error)
 
 	// The newest segments of the amnesic result are short; print them.
 	fmt.Println("\nmost recent amnesic segments:")
-	rows := am.Sequence.Rows
+	rows := am.Series.Rows
 	for _, r := range rows[max(0, len(rows)-6):] {
 		fmt.Printf("  %v  value %.2f\n", r.T, r.Aggs[0])
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,7 +20,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	tree, err := sbtree.New(1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One engine outlives every snapshot below: its scratch buffers are
+	// reused across the repeated display compressions of the live store.
+	engine, err := pta.New()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pta.Compress(seq, "ptac", pta.Size(24), pta.Options{})
+	res, err := engine.Compress(ctx, seq, pta.Plan{Strategy: "ptac", Budget: pta.Size(24)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +105,11 @@ func main() {
 
 	// Final display snapshot: the in-memory error-bounded strategy computes
 	// its own exact (N, EMax) estimate.
-	snap, err := pta.Compress(seq2, "gptae", pta.ErrorBound(0.01), pta.Options{ReadAhead: 1})
+	snap, err := engine.Compress(ctx, seq2, pta.Plan{
+		Strategy: "gptae",
+		Budget:   pta.ErrorBound(0.01),
+		Options:  &pta.Options{ReadAhead: 1},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The proj relation of Fig. 1(a): who works on which project, for what
 	// monthly salary, during which months.
 	proj := dataset.Proj()
@@ -51,11 +53,17 @@ func main() {
 	fmt.Println("\nITA (every change), Fig. 1(c):")
 	fmt.Print(itaResult)
 
-	// Parsimonious temporal aggregation: merge the most similar adjacent
-	// ITA tuples until 4 rows remain, minimizing the sum squared error. The
-	// "ptac" strategy is the exact dynamic program; swap the name for any
-	// other registered evaluator (pta.Strategies() lists them).
-	res, err := pta.Compress(itaResult, "ptac", pta.Size(4), pta.Options{})
+	// Parsimonious temporal aggregation through an Engine — the reusable,
+	// context-aware session every consumer shares. Merge the most similar
+	// adjacent ITA tuples until 4 rows remain, minimizing the sum squared
+	// error. The "ptac" strategy is the exact dynamic program; swap the
+	// name for any other registered evaluator (pta.Strategies() lists
+	// them).
+	engine, err := pta.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Compress(ctx, itaResult, pta.Plan{Strategy: "ptac", Budget: pta.Size(4)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,8 +71,9 @@ func main() {
 	fmt.Print(res.Series)
 
 	// The error-bounded variant instead fixes a tolerable error (here 20%
-	// of the maximal merging error) and minimizes the size.
-	resE, err := pta.Compress(itaResult, "ptae", pta.ErrorBound(0.2), pta.Options{})
+	// of the maximal merging error) and minimizes the size. Same engine,
+	// same scratch buffers — only the plan changes.
+	resE, err := engine.Compress(ctx, itaResult, pta.Plan{Strategy: "ptae", Budget: pta.ErrorBound(0.2)})
 	if err != nil {
 		log.Fatal(err)
 	}

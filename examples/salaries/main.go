@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := dataset.ETDSConfig{Records: 20000, Horizon: 900, Seed: 11}
 	employees, err := dataset.ETDS(cfg)
 	if err != nil {
@@ -37,33 +39,33 @@ func main() {
 	}
 	fmt.Printf("ITA result: %d rows (one per month with any change)\n", monthly.Len())
 
-	// A dashboard wants at most 12 segments. Weights: salary differences
-	// matter much more than headcount differences per Definition 5.
-	opts := pta.Options{Weights: []float64{1, 25}}
-	res, err := pta.Compress(monthly, "ptac", pta.Size(12), opts)
+	// The operator's session: weights are an engine-level default set once
+	// with a functional option — salary differences matter much more than
+	// headcount differences per Definition 5.
+	engine, err := pta.New(
+		pta.WithWeights([]float64{1, 25}),
+		pta.WithReadAhead(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsize-bounded PTA, c = 12 (error %.4g):\n", res.Error)
-	fmt.Print(res.Series)
 
-	// Alternatively: keep whatever size is needed for at most 0.5% of the
-	// maximal merging error.
-	resE, err := pta.Compress(monthly, "ptae", pta.ErrorBound(0.005), opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nerror-bounded PTA, ε = 0.5%% → %d rows (error %.4g)\n", resE.C, resE.Error)
-
-	// How good is the cheap greedy approximation at the same size? Same
-	// budget, same options — only the strategy name changes.
-	greedy, err := pta.Compress(monthly, "gptac", pta.Size(12), pta.Options{
-		Weights:   opts.Weights,
-		ReadAhead: 1,
+	// Three views of the same series, served in one CompressMany call: the
+	// exact ptac/ptae plans share a single filling of the DP matrices (one
+	// pass, three results), the greedy plan runs alongside for contrast.
+	results, err := engine.CompressMany(ctx, monthly, []pta.Plan{
+		{Strategy: "ptac", Budget: pta.Size(12)},
+		{Strategy: "ptae", Budget: pta.ErrorBound(0.005)},
+		{Strategy: "gptac", Budget: pta.Size(12)},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, resE, greedy := results[0], results[1], results[2]
+
+	fmt.Printf("\nsize-bounded PTA, c = 12 (error %.4g):\n", res.Error)
+	fmt.Print(res.Series)
+	fmt.Printf("\nerror-bounded PTA, ε = 0.5%% → %d rows (error %.4g)\n", resE.C, resE.Error)
 	fmt.Printf("\ngreedy gptac at c = 12: error %.4g (ratio %.3f vs optimum), max heap %d of %d rows\n",
 		greedy.Error, greedy.Error/res.Error, greedy.Stats.MaxHeap, monthly.Len())
 }

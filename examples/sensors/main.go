@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Twelve correlated stations, 4 000 samples, 40 transmission outages.
 	wind, err := dataset.Wind(4000, 12, 40, 99)
 	if err != nil {
@@ -27,10 +29,17 @@ func main() {
 	fmt.Printf("wind feed: %d samples × %d stations, cmin = %d\n",
 		wind.Len(), wind.P(), wind.CMin())
 
+	// One engine serves every compression of the example; the streaming
+	// default δ = 1 is an engine-level option.
+	engine, err := pta.New(pta.WithReadAhead(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// A chart should show at most 120 segments across all stations' shared
 	// timeline. PTA handles the 12 dimensions and the outage gaps directly.
 	const budget = 120
-	res, err := pta.Compress(wind, "gptac", pta.Size(budget), pta.Options{ReadAhead: 1})
+	res, err := engine.Compress(ctx, wind, pta.Plan{Strategy: "gptac", Budget: pta.Size(budget)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,15 +52,21 @@ func main() {
 
 	// The classic baselines only handle one gap-free dimension: extract
 	// station01's longest gap-free stretch and compare every applicable
-	// registry strategy at the same budget.
+	// registry strategy at the same budget — one CompressMany call, one
+	// plan per strategy.
 	single := singleStationRun(wind, 0)
 	c := 40
 	fmt.Printf("\nstation01, %d gap-free rows, budget %d segments:\n", single.Len(), c)
-	for _, strategy := range []string{"ptac", "gms", "paa", "apca", "pla"} {
-		r, err := pta.Compress(single, strategy, pta.Size(c), pta.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
+	strategies := []string{"ptac", "gms", "paa", "apca", "pla"}
+	plans := make([]pta.Plan, len(strategies))
+	for i, strategy := range strategies {
+		plans[i] = pta.Plan{Strategy: strategy, Budget: pta.Size(c)}
+	}
+	compared, err := engine.CompressMany(ctx, single, plans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range compared {
 		fmt.Printf("  %-6s error %.4g (%d segments)\n", r.Strategy, r.Error, r.C)
 	}
 

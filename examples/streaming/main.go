@@ -4,13 +4,15 @@
 // result first (Section 6.2).
 //
 // The example wires an ita.Iterator — which satisfies pta.Stream — straight
-// into pta.CompressStream and reports how small the heap stayed relative to
-// the stream, for several read-ahead settings δ.
+// into Engine.CompressStream and reports how small the heap stayed relative
+// to the stream, for several read-ahead settings δ. The result rows are
+// pushed into a pta.Sink, the serving-side half of the streaming API.
 //
 // Run with: go run ./examples/streaming
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A long sensor-style relation: per-device measurement records.
 	cfg := dataset.IncumbentsConfig{Records: 50000, Depts: 4, Projs: 4, Horizon: 2000, Seed: 5}
 	feed, err := dataset.Incumbents(cfg)
@@ -41,18 +44,34 @@ func main() {
 	const c = 64
 	fmt.Printf("stream: %d input records → %d ITA rows; target size %d\n", feed.Len(), n, c)
 
-	fmt.Println("\nsize-bounded gptac, merging as rows arrive:")
+	engine, err := pta.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsize-bounded gptac, merging as rows arrive, pushed into a sink:")
 	for _, delta := range []int{pta.ReadAheadEager, 1, 2, pta.ReadAheadInf} {
 		it, err := ita.NewIterator(feed, query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := pta.CompressStream(it, "gptac", pta.Size(c), pta.Options{ReadAhead: delta})
+		// The sink stands in for a downstream consumer (a chart, a cache,
+		// a network writer): it receives every result row in order.
+		pushed := 0
+		sink := pta.SinkFunc(func(pta.Row) error {
+			pushed++
+			return nil
+		})
+		res, err := engine.CompressStream(ctx, it, pta.Plan{
+			Strategy: "gptac",
+			Budget:   pta.Size(c),
+			Options:  &pta.Options{ReadAhead: delta},
+		}, sink)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  δ=%-4s result %3d rows, error %.4g, max heap %6d (%.1f%% of stream)\n",
-			deltaName(delta), res.C, res.Error, res.Stats.MaxHeap,
+		fmt.Printf("  δ=%-4s sink got %3d rows, error %.4g, max heap %6d (%.1f%% of stream)\n",
+			deltaName(delta), pushed, res.Error, res.Stats.MaxHeap,
 			100*float64(res.Stats.MaxHeap)/float64(n))
 	}
 
@@ -69,15 +88,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nerror-bounded gptae (ε = 0.05, estimates n̂=%d, Êmax=%.3g):\n", est.N, est.EMax)
+
+	// A serving deployment installs the estimator once (WithEstimator);
+	// every error-bounded stream plan then finds its (N̂, Êmax) without
+	// per-call wiring.
+	estEngine, err := pta.New(pta.WithEstimator(
+		func(context.Context, *pta.Series) (pta.Estimate, error) { return est, nil },
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, delta := range []int{1, pta.ReadAheadInf} {
 		it, err := ita.NewIterator(feed, query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := pta.CompressStream(it, "gptae", pta.ErrorBound(0.05), pta.Options{
-			ReadAhead: delta,
-			Estimate:  &est,
-		})
+		res, err := estEngine.CompressStream(ctx, it, pta.Plan{
+			Strategy: "gptae",
+			Budget:   pta.ErrorBound(0.05),
+			Options:  &pta.Options{ReadAhead: delta},
+		}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,6 +23,7 @@
 package amnesic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -158,10 +159,19 @@ func (h *segHeap) remove(n *segNode) {
 // order; whenever more than c segments are buffered, the pair with the
 // smallest *amnesically scaled* merge cost dsim(a,b)/RA(midpoint) is merged
 // (only adjacent, same-group pairs merge). With RA ≡ 1 the algorithm is the
-// paper's gPTAc with δ = 0.
-func ReduceSize(seq *temporal.Sequence, c int, ra Func) (*Result, error) {
+// paper's gPTAc with δ = 0. The context is polled periodically so long
+// reductions abort promptly on cancellation; nil means no cancellation.
+// weights holds one positive error weight per aggregate attribute (w_d of
+// the paper's Definition 5); nil means all weights are 1.
+func ReduceSize(ctx context.Context, seq *temporal.Sequence, c int, ra Func, weights []float64) (*Result, error) {
 	if c < 1 {
 		return nil, fmt.Errorf("amnesic: size bound %d, want ≥ 1", c)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("amnesic: reduction canceled: %w", err)
 	}
 	if ra == nil {
 		ra = Constant(1)
@@ -170,6 +180,17 @@ func ReduceSize(seq *temporal.Sequence, c int, ra Func) (*Result, error) {
 	w2 := make([]float64, p)
 	for d := range w2 {
 		w2[d] = 1
+	}
+	if weights != nil {
+		if len(weights) != p {
+			return nil, fmt.Errorf("amnesic: %d weights for %d aggregate attributes", len(weights), p)
+		}
+		for d, w := range weights {
+			if !(w > 0) {
+				return nil, fmt.Errorf("amnesic: weight %d is %v, want > 0", d, w)
+			}
+			w2[d] = w * w
+		}
 	}
 
 	var (
@@ -227,6 +248,11 @@ func ReduceSize(seq *temporal.Sequence, c int, ra Func) (*Result, error) {
 
 	for _, row := range seq.Rows {
 		seqNo++
+		if seqNo%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("amnesic: reduction canceled: %w", err)
+			}
+		}
 		n := &segNode{row: row.CloneAggs(), seq: seqNo}
 		if tail != nil {
 			n.prev = tail

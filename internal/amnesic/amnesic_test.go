@@ -37,7 +37,7 @@ func TestReduceSizeEquivalentToGPTAc(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		seq := unitSequence(randVals(rng, 5+rng.Intn(60)))
 		c := 1 + rng.Intn(seq.Len())
-		am, err1 := ReduceSize(seq, c, Constant(1))
+		am, err1 := ReduceSize(nil, seq, c, Constant(1), nil)
 		gp, err2 := core.GPTAc(core.NewSliceStream(seq), c, 0, core.Options{})
 		if err1 != nil || err2 != nil {
 			return false
@@ -82,7 +82,7 @@ func TestReduceSizeAmnesiaPrefersOldMerges(t *testing.T) {
 	}
 	seq := unitSequence(vals)
 	now := temporal.Chronon(len(vals) - 1)
-	res, err := ReduceSize(seq, 40, LinearAge(now, 5))
+	res, err := ReduceSize(nil, seq, 40, LinearAge(now, 5), nil)
 	if err != nil {
 		t.Fatalf("ReduceSize: %v", err)
 	}
@@ -129,10 +129,10 @@ func TestReduceErrorTighterRecentBound(t *testing.T) {
 
 func TestReduceSizeValidation(t *testing.T) {
 	seq := unitSequence([]float64{1, 2})
-	if _, err := ReduceSize(seq, 0, nil); err == nil {
+	if _, err := ReduceSize(nil, seq, 0, nil, nil); err == nil {
 		t.Error("c = 0 should fail")
 	}
-	res, err := ReduceSize(seq, 5, nil)
+	res, err := ReduceSize(nil, seq, 5, nil, nil)
 	if err != nil || res.Sequence.Len() != 2 {
 		t.Errorf("c ≥ n should keep the input: %v, %v", res, err)
 	}
@@ -152,7 +152,7 @@ func TestReduceSizeRespectsGapsAndGroups(t *testing.T) {
 		{Group: gid, Aggs: []float64{1}, T: temporal.Inst(0)},
 		{Group: gid, Aggs: []float64{1}, T: temporal.Inst(5)}, // gap
 	}
-	res, err := ReduceSize(seq, 1, Constant(1))
+	res, err := ReduceSize(nil, seq, 1, Constant(1), nil)
 	if err != nil {
 		t.Fatalf("ReduceSize: %v", err)
 	}

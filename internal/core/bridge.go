@@ -138,6 +138,11 @@ func GMSBridged(seq *temporal.Sequence, c int, opts Options) (*GreedyResult, err
 		maxHeap int
 	)
 	for i, row := range seq.Rows {
+		if i%cancelCheckCells == 0 {
+			if err := opts.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		n := &bridgeNode{id: i + 1, row: row.CloneAggs(), cov: float64(row.T.Len()), key: Inf}
 		if tail != nil {
 			n.prev = tail
@@ -159,6 +164,11 @@ func GMSBridged(seq *temporal.Sequence, c int, opts Options) (*GreedyResult, err
 		n := h.peek()
 		if n == nil || n.key == Inf {
 			break
+		}
+		if merges%cancelCheckCells == 0 {
+			if err := opts.canceled(); err != nil {
+				return nil, err
+			}
 		}
 		p := n.prev
 		totalError += n.key

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -31,11 +32,46 @@ var Inf = math.Inf(1)
 // them safe, and the result provably equals GMS (Theorems 2 and 3).
 const DeltaInf = math.MaxInt32
 
-// Options carries evaluation parameters shared by all PTA algorithms.
+// Options carries evaluation parameters shared by all PTA algorithms. It is
+// a per-call argument bundle: Ctx and Scratch belong to one evaluation and
+// must not be shared across concurrent calls.
 type Options struct {
 	// Weights holds one positive weight per aggregate attribute (w_d of
 	// Definition 5). nil means all weights are 1.
 	Weights []float64
+	// Ctx, when non-nil, is polled inside the evaluation loops so that
+	// long-running reductions abort promptly when the caller cancels.
+	// Evaluators return the context error (wrapped) on cancellation.
+	Ctx context.Context
+	// Scratch, when non-nil, provides reusable DP buffers, amortizing the
+	// per-call allocations of the error and split-point matrix rows. A
+	// Scratch serves one evaluation at a time.
+	Scratch *Scratch
+}
+
+// canceled reports the context error, if any, wrapped for the evaluators.
+func (o Options) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("core: evaluation canceled: %w", err)
+	}
+	return nil
+}
+
+// InfeasibleSizeError reports a size budget below the smallest reachable
+// reduction size cmin (the number of maximal adjacent runs): no sequence of
+// adjacent merges can shrink the input that far.
+type InfeasibleSizeError struct {
+	// C is the requested size bound.
+	C int
+	// CMin is the smallest reachable reduction size.
+	CMin int
+}
+
+func (e *InfeasibleSizeError) Error() string {
+	return fmt.Sprintf("core: size bound %d below cmin %d", e.C, e.CMin)
 }
 
 // weightsSquared resolves the per-dimension squared weights for p aggregate

@@ -38,28 +38,46 @@ type DPResult struct {
 // (jmin).
 type dpState struct {
 	px             *Prefix
+	opts           Options
 	n              int
 	pruneI, pruneJ bool
 	storeSplits    bool
+	ownSplits      bool // allocate split rows privately even with a Scratch
 	prevE, curE    []float64
 	splits         [][]int32 // splits[k-1][i] = J[k][i]
 	stats          DPStats
 }
 
-func newDPState(px *Prefix, pruned, storeSplits bool) *dpState {
-	return &dpState{
+// cancelCheckCells is how many DP cells are evaluated between context polls:
+// coarse enough to keep the poll off the hot path, fine enough that a long
+// run aborts within a handful of inner loops.
+const cancelCheckCells = 4096
+
+func newDPState(px *Prefix, opts Options, pruned, storeSplits bool) *dpState {
+	st := &dpState{
 		px:          px,
+		opts:        opts,
 		n:           px.N(),
 		pruneI:      pruned,
 		pruneJ:      pruned,
 		storeSplits: storeSplits,
-		prevE:       make([]float64, px.N()+1),
-		curE:        make([]float64, px.N()+1),
 	}
+	if sc := opts.Scratch; sc != nil {
+		st.prevE, st.curE = sc.eBuffers(px.N())
+	} else {
+		st.prevE = make([]float64, px.N()+1)
+		st.curE = make([]float64, px.N()+1)
+	}
+	return st
 }
 
-// fillRow computes row k of the matrices and returns E[k][n].
-func (st *dpState) fillRow(k int) float64 {
+// fillRow computes row k of the matrices and returns E[k][n]. It polls the
+// context every cancelCheckCells cells so canceled evaluations abort
+// mid-matrix instead of running to completion.
+func (st *dpState) fillRow(k int) (float64, error) {
+	if err := st.opts.canceled(); err != nil {
+		return 0, err
+	}
 	px, n := st.px, st.n
 	st.prevE, st.curE = st.curE, st.prevE
 	for i := range st.curE {
@@ -67,7 +85,11 @@ func (st *dpState) fillRow(k int) float64 {
 	}
 	var jrow []int32
 	if st.storeSplits {
-		jrow = make([]int32, n+1)
+		if sc := st.opts.Scratch; sc != nil && !st.ownSplits {
+			jrow = sc.jRow(k, n)
+		} else {
+			jrow = make([]int32, n+1)
+		}
 	}
 
 	// The inner loop dominates the DP; specialize the one-dimensional case
@@ -103,6 +125,11 @@ func (st *dpState) fillRow(k int) float64 {
 
 	for i := k; i <= imax; i++ {
 		st.stats.Cells++
+		if st.stats.Cells%cancelCheckCells == 0 {
+			if err := st.opts.canceled(); err != nil {
+				return 0, err
+			}
+		}
 		if k == 1 {
 			// First row: merge the whole prefix (infinite across gaps).
 			st.curE[i] = px.SSEMergeAll(1, i)
@@ -161,7 +188,7 @@ func (st *dpState) fillRow(k int) float64 {
 	if st.storeSplits {
 		st.splits = append(st.splits, jrow)
 	}
-	return st.curE[n]
+	return st.curE[n], nil
 }
 
 // reconstruct follows the split-point matrix from cell (c, n) and builds the
@@ -234,18 +261,20 @@ func runSizeBoundedMode(seq *temporal.Sequence, c int, opts Options, pruneI, pru
 		return nil, err
 	}
 	if cmin := px.CMin(); c < cmin {
-		return nil, fmt.Errorf("core: size bound %d below cmin %d", c, cmin)
+		return nil, &InfeasibleSizeError{C: c, CMin: cmin}
 	}
 	if c >= n {
 		// ρ(s, c) = s when |s| ≤ c: nothing to merge.
 		out := seq.Clone()
 		return &DPResult{Sequence: out, C: n}, nil
 	}
-	st := newDPState(px, true, true)
+	st := newDPState(px, opts, true, true)
 	st.pruneI, st.pruneJ = pruneI, pruneJ
 	var finalErr float64
 	for k := 1; k <= c; k++ {
-		finalErr = st.fillRow(k)
+		if finalErr, err = st.fillRow(k); err != nil {
+			return nil, err
+		}
 	}
 	rows := st.reconstruct(c)
 	return &DPResult{
@@ -310,10 +339,13 @@ func runErrorBoundedMode(seq *temporal.Sequence, eps float64, opts Options, prun
 		return nil, err
 	}
 	bound := eps * px.MaxError()
-	st := newDPState(px, true, true)
+	st := newDPState(px, opts, true, true)
 	st.pruneI, st.pruneJ = pruneI, pruneJ
 	for k := 1; k <= n; k++ {
-		e := st.fillRow(k)
+		e, err := st.fillRow(k)
+		if err != nil {
+			return nil, err
+		}
 		if e <= bound {
 			rows := st.reconstruct(k)
 			return &DPResult{
@@ -343,10 +375,15 @@ func Matrices(seq *temporal.Sequence, c int, opts Options) ([][]float64, [][]int
 	if err != nil {
 		return nil, nil, err
 	}
-	st := newDPState(px, true, true)
+	// The split rows leave the function, so they must not come from a
+	// caller-provided Scratch (whose rows are reused by the next call).
+	st := newDPState(px, opts, true, true)
+	st.ownSplits = true
 	em := make([][]float64, c)
 	for k := 1; k <= c; k++ {
-		st.fillRow(k)
+		if _, err := st.fillRow(k); err != nil {
+			return nil, nil, err
+		}
 		em[k-1] = append([]float64(nil), st.curE...)
 	}
 	return em, st.splits, nil
@@ -366,10 +403,13 @@ func ErrorCurve(seq *temporal.Sequence, kmax int, opts Options) ([]float64, erro
 	if err != nil {
 		return nil, err
 	}
-	st := newDPState(px, true, false)
+	st := newDPState(px, opts, true, false)
 	curve := make([]float64, kmax)
 	for k := 1; k <= kmax; k++ {
-		curve[k-1] = st.fillRow(k)
+		var err error
+		if curve[k-1], err = st.fillRow(k); err != nil {
+			return nil, err
+		}
 	}
 	return curve, nil
 }

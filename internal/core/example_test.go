@@ -101,7 +101,7 @@ func TestErrorMatrixFig4(t *testing.T) {
 		{Inf, Inf, Inf, 0, 1666, 6666, 49166},
 	}
 	for _, pruned := range []bool{true, false} {
-		st := newDPState(px, pruned, true)
+		st := newDPState(px, Options{}, pruned, true)
 		for k := 1; k <= 4; k++ {
 			st.fillRow(k)
 			for i := 1; i <= 7; i++ {
@@ -124,7 +124,7 @@ func TestErrorMatrixFig4(t *testing.T) {
 // J[4][7]=6, J[3][6]=5, J[2][5]=2, J[1][2]=0.
 func TestSplitMatrixFig5(t *testing.T) {
 	px, _ := NewPrefix(figure1c(), Options{})
-	st := newDPState(px, true, true)
+	st := newDPState(px, Options{}, true, true)
 	for k := 1; k <= 4; k++ {
 		st.fillRow(k)
 	}

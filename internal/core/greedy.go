@@ -84,6 +84,11 @@ type greedyState struct {
 
 	// onMerge, when set, observes every merge for tests and tracing.
 	onMerge func(n *node)
+
+	// opts retains the evaluation options for cancellation polling.
+	opts Options
+	// steps counts inserts and merges since the last context poll.
+	steps int
 }
 
 func newGreedyState(p int, opts Options) (*greedyState, error) {
@@ -93,9 +98,21 @@ func newGreedyState(p int, opts Options) (*greedyState, error) {
 	}
 	return &greedyState{
 		w2:     w2,
+		opts:   opts,
 		runSV:  make([]float64, p),
 		runSSV: make([]float64, p),
 	}, nil
+}
+
+// checkCancel polls the context every cancelCheckCells inserts/merges, so
+// streaming over an unbounded source aborts promptly on cancellation.
+func (g *greedyState) checkCancel() error {
+	g.steps++
+	if g.steps < cancelCheckCells {
+		return nil
+	}
+	g.steps = 0
+	return g.opts.canceled()
 }
 
 // insert appends one incoming row to the intermediate relation and the heap
@@ -260,13 +277,22 @@ func GMS(seq *temporal.Sequence, c int, opts Options) (*GreedyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	for _, row := range seq.Rows {
+		if err := g.checkCancel(); err != nil {
+			return nil, err
+		}
 		g.insert(row.CloneAggs())
 	}
 	for g.h.len() > c {
 		n := g.h.peek()
 		if n.key == Inf {
 			break
+		}
+		if err := g.checkCancel(); err != nil {
+			return nil, err
 		}
 		g.mergeTop()
 	}
@@ -284,7 +310,13 @@ func GMSError(seq *temporal.Sequence, eps float64, opts Options) (*GreedyResult,
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	for _, row := range seq.Rows {
+		if err := g.checkCancel(); err != nil {
+			return nil, err
+		}
 		g.insert(row.CloneAggs())
 	}
 	bound := eps * g.exactEmax()
@@ -292,6 +324,9 @@ func GMSError(seq *temporal.Sequence, eps float64, opts Options) (*GreedyResult,
 		n := g.h.peek()
 		if n == nil || n.key == Inf || g.totalError+n.key > bound {
 			break
+		}
+		if err := g.checkCancel(); err != nil {
+			return nil, err
 		}
 		g.mergeTop()
 	}
@@ -313,10 +348,16 @@ func GPTAc(src Stream, c, delta int, opts Options) (*GreedyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	for {
 		row, ok := src.Next()
 		if !ok {
 			break
+		}
+		if err := g.checkCancel(); err != nil {
+			return nil, err
 		}
 		g.insert(row.CloneAggs())
 		for g.h.len() > c {
@@ -340,6 +381,9 @@ func GPTAc(src Stream, c, delta int, opts Options) (*GreedyResult, error) {
 		n := g.h.peek()
 		if n.key == Inf {
 			break
+		}
+		if err := g.checkCancel(); err != nil {
+			return nil, err
 		}
 		g.mergeTop()
 	}
@@ -474,11 +518,17 @@ func GPTAe(src Stream, eps float64, delta int, est Estimate, opts Options) (*Gre
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	perMerge := eps * est.EMax / float64(est.N)
 	for {
 		row, ok := src.Next()
 		if !ok {
 			break
+		}
+		if err := g.checkCancel(); err != nil {
+			return nil, err
 		}
 		g.insert(row.CloneAggs())
 		for {
@@ -504,6 +554,9 @@ func GPTAe(src Stream, eps float64, delta int, est Estimate, opts Options) (*Gre
 		n := g.h.peek()
 		if n == nil || n.key == Inf || g.totalError+n.key > bound {
 			break
+		}
+		if err := g.checkCancel(); err != nil {
+			return nil, err
 		}
 		g.mergeTop()
 	}

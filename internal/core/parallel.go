@@ -8,13 +8,14 @@ import (
 	"repro/internal/temporal"
 )
 
-// This file implements a divide-and-conquer evaluation of size-bounded PTA
-// that makes the structure behind the paper's Section 5.3 pruning explicit:
+// This file implements a divide-and-conquer evaluation of exact PTA that
+// makes the structure behind the paper's Section 5.3 pruning explicit:
 // non-adjacent tuple pairs split the relation into maximal adjacent runs
 // that never interact, so
 //
 //  1. each run's optimal error curve can be computed independently (and
-//     concurrently — one goroutine per run, bounded by GOMAXPROCS), and
+//     concurrently — a bounded worker pool with per-worker scratch
+//     buffers), and
 //  2. the global optimum is an allocation of the size budget c over the
 //     runs, found by a small dynamic program over run curves:
 //
@@ -23,8 +24,14 @@ import (
 // The result provably equals PTAc (property-tested); with many short runs
 // it does asymptotically less work — per-run curves cost Σ O(q_r²·min(q_r,c))
 // versus the monolithic scheme's larger search space — and it uses every
-// core. The paper's evaluation is single-threaded; this is an engineering
-// extension, reported by the `parallel` experiment.
+// core. Aggregation groups are a coarsening of runs (every group boundary
+// is a run boundary), so this is also the group-parallel execution engine
+// behind pta.Engine's WithParallelism. The paper's evaluation is
+// single-threaded; this is an engineering extension, reported by the
+// `parallel` and `engine` experiments.
+//
+// PTAcParallel serves size budgets; PTAeParallel computes full run curves
+// and picks the smallest total size whose optimal error fits eps·SSEmax.
 
 // runCurve is one maximal adjacent run with its reduction error curve and
 // the split matrices needed to reconstruct any reduction size.
@@ -32,6 +39,112 @@ type runCurve struct {
 	lo, hi int // 1-based row bounds of the run, inclusive
 	curve  []float64
 	splits [][]int32
+}
+
+// decomposeRuns cuts the relation into its maximal adjacent runs.
+func decomposeRuns(px *Prefix) []*runCurve {
+	var runs []*runCurve
+	lo := 1
+	for _, g := range px.gaps {
+		runs = append(runs, &runCurve{lo: lo, hi: g})
+		lo = g + 1
+	}
+	runs = append(runs, &runCurve{lo: lo, hi: px.n})
+	return runs
+}
+
+// computeCurves fills every run's error curve up to min(run length, kcap) on
+// a pool of workers goroutines (0 = GOMAXPROCS). Each worker owns a private
+// Scratch, so the caller's Options.Scratch is never shared across
+// goroutines.
+func computeCurves(seq *temporal.Sequence, runs []*runCurve, kcap int, opts Options, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(runs))
+	jobs := make(chan int)
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wopts := opts
+			wopts.Scratch = &Scratch{}
+			for i := range jobs {
+				errs[i] = runs[i].compute(seq, kcap, wopts)
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocateRuns spends budgets of 1..kmax tuples over the run curves with the
+// combination DP. It returns the final row A[k] (the minimal total error of
+// reducing the whole relation to k tuples; Inf where infeasible) and the
+// per-run choice matrices for reconstruction.
+func allocateRuns(runs []*runCurve, kmax int) (final []float64, choice [][]int32) {
+	const unset = -1
+	prev := make([]float64, kmax+1)
+	cur := make([]float64, kmax+1)
+	choice = make([][]int32, len(runs)) // choice[r][k] = tuples given to run r
+	for k := range prev {
+		prev[k] = Inf
+	}
+	prev[0] = 0
+	minNeeded := 0
+	for r, rc := range runs {
+		choice[r] = make([]int32, kmax+1)
+		for k := range cur {
+			cur[k] = Inf
+			choice[r][k] = unset
+		}
+		maxLen := len(rc.curve)
+		minNeeded++ // every run contributes ≥ 1 tuple
+		for k := minNeeded; k <= kmax; k++ {
+			for j := 1; j <= maxLen && j < k+1; j++ {
+				if prev[k-j] == Inf {
+					continue
+				}
+				if e := prev[k-j] + rc.curve[j-1]; e < cur[k] {
+					cur[k] = e
+					choice[r][k] = int32(j)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev, choice
+}
+
+// reconstructRuns walks the choice matrices backwards from a total size k
+// and expands each run's own splits into rows.
+func reconstructRuns(px *Prefix, runs []*runCurve, choice [][]int32, k int) ([]temporal.SeqRow, error) {
+	const unset = -1
+	alloc := make([]int, len(runs))
+	for r := len(runs) - 1; r >= 0; r-- {
+		j := int(choice[r][k])
+		if j == unset {
+			return nil, fmt.Errorf("core: internal error reconstructing parallel DP at run %d", r)
+		}
+		alloc[r] = j
+		k -= j
+	}
+	var rows []temporal.SeqRow
+	for r, rc := range runs {
+		rows = append(rows, rc.reconstruct(px, alloc[r])...)
+	}
+	return rows, nil
 }
 
 // PTAcParallel evaluates size-bounded PTA exactly, decomposing the work
@@ -51,102 +164,90 @@ func PTAcParallel(seq *temporal.Sequence, c int, opts Options, workers int) (*DP
 	}
 	cmin := px.CMin()
 	if c < cmin {
-		return nil, fmt.Errorf("core: size bound %d below cmin %d", c, cmin)
+		return nil, &InfeasibleSizeError{C: c, CMin: cmin}
 	}
 	if c >= n {
 		return &DPResult{Sequence: seq.Clone(), C: n}, nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
-	// Cut the relation into maximal adjacent runs.
-	var runs []*runCurve
-	lo := 1
-	for _, g := range px.gaps {
-		runs = append(runs, &runCurve{lo: lo, hi: g})
-		lo = g + 1
+	runs := decomposeRuns(px)
+	if err := computeCurves(seq, runs, c, opts, workers); err != nil {
+		return nil, err
 	}
-	runs = append(runs, &runCurve{lo: lo, hi: n})
-
-	// Compute each run's error curve up to min(len, c) concurrently.
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	errs := make([]error, len(runs))
-	for i, rc := range runs {
-		wg.Add(1)
-		go func(i int, rc *runCurve) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = rc.compute(seq, c, opts)
-		}(i, rc)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Allocate the budget over runs: A[k] after r runs = minimal error of
-	// spending k tuples on the first r runs (every run needs ≥ 1).
-	const unset = -1
-	prev := make([]float64, c+1)
-	cur := make([]float64, c+1)
-	choice := make([][]int32, len(runs)) // choice[r][k] = tuples given to run r
-	for k := range prev {
-		prev[k] = Inf
-	}
-	prev[0] = 0
-	minNeeded := 0
-	for r, rc := range runs {
-		choice[r] = make([]int32, c+1)
-		for k := range cur {
-			cur[k] = Inf
-			choice[r][k] = unset
-		}
-		maxLen := len(rc.curve)
-		minNeeded++ // every run contributes ≥ 1 tuple
-		for k := minNeeded; k <= c; k++ {
-			for j := 1; j <= maxLen && j < k+1; j++ {
-				if prev[k-j] == Inf {
-					continue
-				}
-				if e := prev[k-j] + rc.curve[j-1]; e < cur[k] {
-					cur[k] = e
-					choice[r][k] = int32(j)
-				}
-			}
-		}
-		prev, cur = cur, prev
-	}
-	total := prev[c]
-
-	// Reconstruct: walk choices backwards, then each run's own splits.
-	alloc := make([]int, len(runs))
-	k := c
-	for r := len(runs) - 1; r >= 0; r-- {
-		j := int(choice[r][k])
-		if j == unset {
-			return nil, fmt.Errorf("core: internal error reconstructing parallel DP at run %d", r)
-		}
-		alloc[r] = j
-		k -= j
-	}
-	var rows []temporal.SeqRow
-	for r, rc := range runs {
-		rows = append(rows, rc.reconstruct(px, alloc[r])...)
+	final, choice := allocateRuns(runs, c)
+	rows, err := reconstructRuns(px, runs, choice, c)
+	if err != nil {
+		return nil, err
 	}
 	return &DPResult{
 		Sequence: seq.WithRows(rows),
 		C:        c,
-		Error:    total,
+		Error:    final[c],
 	}, nil
 }
 
+// PTAeParallel evaluates error-bounded PTA exactly with the same run
+// decomposition: every run's full error curve is computed concurrently, the
+// combination DP yields the optimal error for every total size, and the
+// smallest size whose error fits eps·SSEmax wins — the same minimization as
+// PTAe (Definition 7), parallel over runs.
+func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int) (*DPResult, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("core: error bound %v outside [0, 1]", eps)
+	}
+	n := seq.Len()
+	if n == 0 {
+		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
+	}
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, err
+	}
+	bound := eps * px.MaxError()
+	// The per-run curves and the global SSEmax accumulate the same sums in
+	// different orders, so comparing them exactly can miss a feasible size
+	// by a few ulps (visible at eps = 1, where E[cmin] = SSEmax must hold);
+	// a hair of relative slack restores the serial decision.
+	accept := bound * (1 + 1e-9)
+
+	// Iterative deepening preserves the serial evaluator's early exit: a
+	// total size of K needs per-run curves only up to K−R+1 (every other
+	// run keeps ≥ 1 tuple), so loose bounds that stop at small K never pay
+	// for full curves. Each failed round doubles K; the geometric growth
+	// bounds total work at a small constant of the final round's.
+	runs := decomposeRuns(px)
+	R := len(runs)
+	for K := min(n, R+63); ; K = min(n, 2*K) {
+		if err := computeCurves(seq, runs, K-R+1, opts, workers); err != nil {
+			return nil, err
+		}
+		final, choice := allocateRuns(runs, K)
+		for k := R; k <= K; k++ {
+			if final[k] <= accept {
+				// Curves cover every size ≤ K, so k is the exact minimum.
+				rows, err := reconstructRuns(px, runs, choice, k)
+				if err != nil {
+					return nil, err
+				}
+				return &DPResult{
+					Sequence: seq.WithRows(rows),
+					C:        k,
+					Error:    final[k],
+				}, nil
+			}
+		}
+		if K == n {
+			// A[n] = 0 ≤ bound always triggers; reaching this point means
+			// the curve combination is broken.
+			panic("core: error-bounded parallel DP did not terminate")
+		}
+	}
+}
+
 // compute fills the run's curve and split matrices for sizes 1..min(len, c)
-// using the gap-free DP restricted to the run.
+// using the gap-free DP restricted to the run. The split rows must outlive
+// this call (reconstruction happens after all runs finish), so they are
+// always privately allocated, never taken from the worker's Scratch.
 func (rc *runCurve) compute(seq *temporal.Sequence, c int, opts Options) error {
 	sub := seq.WithRows(seq.Rows[rc.lo-1 : rc.hi])
 	px, err := NewPrefix(sub, opts)
@@ -155,10 +256,13 @@ func (rc *runCurve) compute(seq *temporal.Sequence, c int, opts Options) error {
 	}
 	q := rc.hi - rc.lo + 1
 	kmax := min(q, c)
-	st := newDPState(px, true, true)
+	st := newDPState(px, opts, true, true)
+	st.ownSplits = true
 	rc.curve = make([]float64, kmax)
 	for k := 1; k <= kmax; k++ {
-		rc.curve[k-1] = st.fillRow(k)
+		if rc.curve[k-1], err = st.fillRow(k); err != nil {
+			return err
+		}
 	}
 	rc.splits = st.splits
 	return nil

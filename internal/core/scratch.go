@@ -1,0 +1,44 @@
+package core
+
+// Scratch holds reusable evaluation buffers for the dynamic-programming
+// evaluators: the two rolling error-matrix rows and the split-point rows.
+// Reusing a Scratch across calls on similarly-sized inputs removes the
+// dominant per-call allocations, which matters when an engine serves many
+// compressions back to back.
+//
+// A Scratch serves one evaluation at a time — callers that evaluate
+// concurrently must pool instances (the public pta.ScratchPool does).
+type Scratch struct {
+	e1, e2 []float64
+	jrows  [][]int32
+}
+
+// eBuffers returns the two error-matrix row buffers with n+1 entries each,
+// growing the backing arrays as needed. Contents are unspecified; the DP
+// overwrites every cell it reads.
+func (s *Scratch) eBuffers(n int) (prev, cur []float64) {
+	if cap(s.e1) < n+1 {
+		s.e1 = make([]float64, n+1)
+		s.e2 = make([]float64, n+1)
+	}
+	return s.e1[:n+1], s.e2[:n+1]
+}
+
+// jRow returns the k-th (1-based) split-point row buffer, zeroed, with n+1
+// entries. Rows stay owned by the Scratch: they are valid until the next
+// evaluation that uses it, so reconstruction must finish before the Scratch
+// is reused (every core entry point does).
+func (s *Scratch) jRow(k, n int) []int32 {
+	for len(s.jrows) < k {
+		s.jrows = append(s.jrows, nil)
+	}
+	r := s.jrows[k-1]
+	if cap(r) < n+1 {
+		r = make([]int32, n+1)
+		s.jrows[k-1] = r
+	} else {
+		r = r[:n+1]
+		clear(r)
+	}
+	return r
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -17,7 +18,7 @@ func init() {
 // multicore evaluator on gapped workloads. Both produce the identical
 // optimum (property-tested in internal/core); only the work distribution
 // differs.
-func runParallel(cfg Config) (*Table, error) {
+func runParallel(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "parallel", Title: "monolithic PTAc vs run-decomposed parallel evaluation",
 		Header: []string{"workload", "n", "runs", "c", "PTAc_ms", "parallel_ms", "speedup", "same_error"},
@@ -38,7 +39,7 @@ func runParallel(cfg Config) (*Table, error) {
 		var mono, par *pta.Result
 		dMono, err := timeIt(func() error {
 			var err error
-			mono, err = pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
+			mono, err = cfg.compress(ctx, seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -46,7 +47,7 @@ func runParallel(cfg Config) (*Table, error) {
 		}
 		dPar, err := timeIt(func() error {
 			var err error
-			par, err = pta.Compress(seq, "ptac-parallel", pta.Size(c), pta.Options{})
+			par, err = cfg.compress(ctx, seq, "ptac-parallel", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -69,7 +70,7 @@ func runParallel(cfg Config) (*Table, error) {
 // greedy strategy to merge across temporal gaps within a group. Bridging
 // lowers the reachable floor from cmin (runs) to the group count and is
 // compared against classic GMS at sizes both can reach.
-func runGapBridge(cfg Config) (*Table, error) {
+func runGapBridge(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "gapbridge", Title: "classic vs gap-bridging greedy reduction",
 		Header: []string{"query", "n", "cmin", "groups", "c", "GMS_err", "bridged_err", "bridged_reaches"},
@@ -83,16 +84,16 @@ func runGapBridge(cfg Config) (*Table, error) {
 		n, cmin := seq.Len(), seq.CMin()
 		groups := pta.GroupCount(seq)
 		for _, c := range []int{cmin, max(cmin, n/20)} {
-			gms, err := pta.Compress(seq, "gms", pta.Size(c), pta.Options{})
+			gms, err := cfg.compress(ctx, seq, "gms", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
-			bridged, err := pta.Compress(seq, "gms-bridged", pta.Size(c), pta.Options{})
+			bridged, err := cfg.compress(ctx, seq, "gms-bridged", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
 			// How far below cmin can bridging go?
-			floor, err := pta.Compress(seq, "gms-bridged", pta.Size(groups), pta.Options{})
+			floor, err := cfg.compress(ctx, seq, "gms-bridged", pta.Size(groups), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -110,7 +111,7 @@ func runGapBridge(cfg Config) (*Table, error) {
 // imax = G_k and the split-point bound j_min — on a gapped workload, and
 // contrasts them with a gap-free workload where neither can help. Every mode
 // computes the identical optimal reduction; only the work differs.
-func runAblation(cfg Config) (*Table, error) {
+func runAblation(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "ablation", Title: "DP pruning ablation: cells / inner iterations / time by mode",
 		Header: []string{"workload", "mode", "cells", "inner_iters", "time_ms", "error"},
@@ -134,11 +135,11 @@ func runAblation(cfg Config) (*Table, error) {
 	}{
 		{"gapped(100 groups)", func(strategy string) (*pta.Result, error) {
 			c := max(gapped.CMin(), gapped.Len()/5)
-			return pta.Compress(gapped, strategy, pta.Size(c), pta.Options{})
+			return cfg.compress(ctx, gapped, strategy, pta.Size(c), pta.Options{})
 		}},
 		{"gap-free", func(strategy string) (*pta.Result, error) {
 			c := max(1, gapFree.Len()/5)
-			return pta.Compress(gapFree, strategy, pta.Size(c), pta.Options{})
+			return cfg.compress(ctx, gapFree, strategy, pta.Size(c), pta.Options{})
 		}},
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/pta"
@@ -20,7 +21,7 @@ func init() {
 // heap size, result size, whether the final error respects the bound, and
 // whether the output still equals the GMS reference. The random-sampling
 // estimator of Section 8's future work is included as the practical row.
-func runEstimates(cfg Config) (*Table, error) {
+func runEstimates(ctx context.Context, cfg Config) (*Table, error) {
 	ws, err := Workloads(cfg, "T2")
 	if err != nil {
 		return nil, err
@@ -31,7 +32,7 @@ func runEstimates(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	const eps = 0.05
-	gms, err := pta.Compress(seq, "gms", pta.ErrorBound(eps), pta.Options{})
+	gms, err := cfg.compress(ctx, seq, "gms", pta.ErrorBound(eps), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +43,7 @@ func runEstimates(cfg Config) (*Table, error) {
 		Header: []string{"estimate", "EMax_hat/EMax", "C", "max_heap", "error", "within_bound", "equals_GMS"},
 	}
 	addRow := func(label string, est pta.Estimate) error {
-		res, err := pta.Compress(seq, "gptae", pta.ErrorBound(eps),
+		res, err := cfg.compress(ctx, seq, "gptae", pta.ErrorBound(eps),
 			pta.Options{ReadAhead: 1, Estimate: &est})
 		if err != nil {
 			return err

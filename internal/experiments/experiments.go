@@ -6,11 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/pta"
 )
 
 // Config scales and seeds an experiment run.
@@ -23,10 +27,37 @@ type Config struct {
 	Seed int64
 	// Quick switches to tiny sizes for unit tests and smoke runs.
 	Quick bool
+	// Engine runs every facade compression of the suite (ptabench wires
+	// its -parallel flag into it). nil falls back to a shared serial
+	// engine, so tests and library callers need no setup.
+	Engine *pta.Engine
 }
 
 // DefaultConfig is the standard reproduction configuration.
 func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+
+// fallbackEngine serves configs without an explicit engine.
+var fallbackEngine = sync.OnceValue(func() *pta.Engine {
+	e, err := pta.New()
+	if err != nil {
+		panic(err)
+	}
+	return e
+})
+
+// engine resolves the evaluation engine of this configuration.
+func (c Config) engine() *pta.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return fallbackEngine()
+}
+
+// compress routes one facade compression through the configured engine —
+// the single evaluation call site of the whole experiment suite.
+func (c Config) compress(ctx context.Context, seq *pta.Series, strategy string, b pta.Budget, opts pta.Options) (*pta.Result, error) {
+	return c.engine().Compress(ctx, seq, pta.Plan{Strategy: strategy, Budget: b, Options: &opts})
+}
 
 // scaled applies the scale factor with a floor.
 func (c Config) scaled(n int) int {
@@ -117,16 +148,17 @@ func (t *Table) CSV(w io.Writer) error {
 	return err
 }
 
-// Experiment is one reproducible table or figure.
+// Experiment is one reproducible table or figure. Run observes the context:
+// canceling it aborts the experiment mid-evaluation.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Config) (*Table, error)
+	Run   func(context.Context, Config) (*Table, error)
 }
 
 var registry []Experiment
 
-func register(id, title string, run func(Config) (*Table, error)) {
+func register(id, title string, run func(context.Context, Config) (*Table, error)) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
 }
 

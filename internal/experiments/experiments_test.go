@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range exps {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(quickConfig())
+			tab, err := e.Run(context.Background(), quickConfig())
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -93,7 +94,7 @@ func TestWorkloadShapes(t *testing.T) {
 // TestFig14aErrorsAreMonotone: within one query column, the error grows
 // with the reduction ratio.
 func TestFig14aErrorsAreMonotone(t *testing.T) {
-	tab, err := ByIDMust("fig14a").Run(quickConfig())
+	tab, err := ByIDMust("fig14a").Run(context.Background(), quickConfig())
 	if err != nil {
 		t.Fatalf("fig14a: %v", err)
 	}
@@ -119,7 +120,7 @@ func TestFig14aErrorsAreMonotone(t *testing.T) {
 // TestFig16GPTAcNearOne: the gPTAc column must stay close to the optimum
 // (the paper's headline claim).
 func TestFig16GPTAcNearOne(t *testing.T) {
-	tab, err := ByIDMust("fig16").Run(quickConfig())
+	tab, err := ByIDMust("fig16").Run(context.Background(), quickConfig())
 	if err != nil {
 		t.Fatalf("fig16: %v", err)
 	}

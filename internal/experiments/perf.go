@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/approx"
@@ -19,7 +20,7 @@ func init() {
 
 // --- fig18 ---
 
-func runFig18a(cfg Config) (*Table, error) {
+func runFig18a(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "fig18a", Title: "runtime (ms) vs input size; gap-free 10-dim synthetic, c = 200",
 		Header: []string{"n", "DP_ms", "PTAc_ms", "DP_cells", "PTAc_cells"},
@@ -38,7 +39,7 @@ func runFig18a(cfg Config) (*Table, error) {
 		var basic, pruned *pta.Result
 		dBasic, err := timeIt(func() error {
 			var err error
-			basic, err = pta.Compress(seq, "dpbasic", pta.Size(c), pta.Options{})
+			basic, err = cfg.compress(ctx, seq, "dpbasic", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -46,7 +47,7 @@ func runFig18a(cfg Config) (*Table, error) {
 		}
 		dPruned, err := timeIt(func() error {
 			var err error
-			pruned, err = pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
+			pruned, err = cfg.compress(ctx, seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -59,7 +60,7 @@ func runFig18a(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func runFig18b(cfg Config) (*Table, error) {
+func runFig18b(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "fig18b", Title: "runtime (ms) vs input size; 200 groups (S2-style), c = 250",
 		Header: []string{"n", "DP_ms", "PTAc_ms", "DP_cells", "PTAc_cells"},
@@ -78,7 +79,7 @@ func runFig18b(cfg Config) (*Table, error) {
 		var basic, pruned *pta.Result
 		dBasic, err := timeIt(func() error {
 			var err error
-			basic, err = pta.Compress(seq, "dpbasic", pta.Size(c), pta.Options{})
+			basic, err = cfg.compress(ctx, seq, "dpbasic", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -86,7 +87,7 @@ func runFig18b(cfg Config) (*Table, error) {
 		}
 		dPruned, err := timeIt(func() error {
 			var err error
-			pruned, err = pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
+			pruned, err = cfg.compress(ctx, seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -99,7 +100,7 @@ func runFig18b(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func runFig19(cfg Config) (*Table, error) {
+func runFig19(ctx context.Context, cfg Config) (*Table, error) {
 	n := cfg.scaled(1200)
 	const groups = 200
 	perGroup := max(1, n/groups)
@@ -115,14 +116,14 @@ func runFig19(cfg Config) (*Table, error) {
 	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
 		c := max(cmin, int(frac*float64(seq.Len())))
 		dBasic, err := timeIt(func() error {
-			_, err := pta.Compress(seq, "dpbasic", pta.Size(c), pta.Options{})
+			_, err := cfg.compress(ctx, seq, "dpbasic", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		dPruned, err := timeIt(func() error {
-			_, err := pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
+			_, err := cfg.compress(ctx, seq, "ptac", pta.Size(c), pta.Options{})
 			return err
 		})
 		if err != nil {
@@ -136,7 +137,7 @@ func runFig19(cfg Config) (*Table, error) {
 
 // --- fig20 ---
 
-func runFig20a(cfg Config) (*Table, error) {
+func runFig20a(ctx context.Context, cfg Config) (*Table, error) {
 	n := cfg.scaled(200000)
 	seq, err := dataset.Uniform(1, n, 1, cfg.Seed+13)
 	if err != nil {
@@ -150,7 +151,7 @@ func runFig20a(cfg Config) (*Table, error) {
 	for _, c := range logGrid(n) {
 		row := []string{fmt.Sprintf("%d", c)}
 		for _, d := range deltas {
-			res, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: d})
+			res, err := cfg.compress(ctx, seq, "gptac", pta.Size(c), pta.Options{ReadAhead: d})
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +163,7 @@ func runFig20a(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func runFig20b(cfg Config) (*Table, error) {
+func runFig20b(ctx context.Context, cfg Config) (*Table, error) {
 	n := cfg.scaled(200000)
 	seq, err := dataset.Uniform(1, n, 1, cfg.Seed+14)
 	if err != nil {
@@ -182,7 +183,7 @@ func runFig20b(cfg Config) (*Table, error) {
 		var size int
 		heaps := make([]string, 0, len(deltas))
 		for _, d := range deltas {
-			res, err := pta.Compress(seq, "gptae", pta.ErrorBound(eps),
+			res, err := cfg.compress(ctx, seq, "gptae", pta.ErrorBound(eps),
 				pta.Options{ReadAhead: d, Estimate: &est})
 			if err != nil {
 				return nil, err
@@ -209,7 +210,7 @@ func logGrid(n int) []int {
 
 // --- fig21 ---
 
-func runFig21(cfg Config) (*Table, error) {
+func runFig21(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "fig21", Title: "runtime (ms) of greedy PTA vs linear approximation methods (c = n/10, ε = 0.65, δ = 1)",
 		Header: []string{"n", "gPTAe_ms", "PAA_ms", "ATC_ms", "gPTAc_ms", "APCA_ms", "DWT_ms"},
@@ -233,7 +234,7 @@ func runFig21(cfg Config) (*Table, error) {
 		vals := series.Dims[0]
 
 		dGPTAe, err := timeIt(func() error {
-			_, err := pta.Compress(seq, "gptae", pta.ErrorBound(0.65),
+			_, err := cfg.compress(ctx, seq, "gptae", pta.ErrorBound(0.65),
 				pta.Options{ReadAhead: 1, Estimate: &est})
 			return err
 		})
@@ -255,7 +256,7 @@ func runFig21(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		dGPTAc, err := timeIt(func() error {
-			_, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: 1})
+			_, err := cfg.compress(ctx, seq, "gptac", pta.Size(c), pta.Options{ReadAhead: 1})
 			return err
 		})
 		if err != nil {

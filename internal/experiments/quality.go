@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,7 +28,7 @@ func init() {
 
 // --- tab1 ---
 
-func runTab1(cfg Config) (*Table, error) {
+func runTab1(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "tab1", Title: "workload inventory",
 		Header: []string{"query", "grouping", "functions", "input", "ita_size", "cmin"},
@@ -50,7 +51,7 @@ func runTab1(cfg Config) (*Table, error) {
 
 // --- fig1 ---
 
-func runFig1(Config) (*Table, error) {
+func runFig1(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "fig1", Title: "running example",
 		Header: []string{"relation", "group", "value", "interval"},
@@ -70,7 +71,7 @@ func runFig1(Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ptaRes, err := pta.Compress(itaRes, "ptac", pta.Size(4), pta.Options{})
+	ptaRes, err := cfg.compress(ctx, itaRes, "ptac", pta.Size(4), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +132,7 @@ func fig2Excerpt(cfg Config) (*temporal.Sequence, error) {
 	return out, nil
 }
 
-func runFig2(cfg Config) (*Table, error) {
+func runFig2(ctx context.Context, cfg Config) (*Table, error) {
 	seq, err := fig2Excerpt(cfg)
 	if err != nil {
 		return nil, err
@@ -183,7 +184,7 @@ func runFig2(cfg Config) (*Table, error) {
 		{"paa", "PAA"}, {"apca", "APCA"}, {"pla", "PLA"},
 		{"ptac", "PTA"}, {"gptac", "gPTAc"},
 	} {
-		res, err := pta.Compress(seq, spec.strategy, pta.Size(budget),
+		res, err := cfg.compress(ctx, seq, spec.strategy, pta.Size(budget),
 			pta.Options{ReadAhead: pta.ReadAheadInf})
 		if err != nil {
 			return nil, err
@@ -200,7 +201,7 @@ func runFig2(cfg Config) (*Table, error) {
 
 // --- fig4fig5 ---
 
-func runFig4Fig5(Config) (*Table, error) {
+func runFig4Fig5(ctx context.Context, cfg Config) (*Table, error) {
 	r := dataset.Proj()
 	seq, err := ita.Eval(r, ita.Query{GroupBy: []string{"Proj"}, Aggs: []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}}})
 	if err != nil {
@@ -238,17 +239,17 @@ func runFig4Fig5(Config) (*Table, error) {
 
 // --- fig9 ---
 
-func runFig9(Config) (*Table, error) {
+func runFig9(ctx context.Context, cfg Config) (*Table, error) {
 	r := dataset.Proj()
 	seq, err := ita.Eval(r, ita.Query{GroupBy: []string{"Proj"}, Aggs: []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}}})
 	if err != nil {
 		return nil, err
 	}
-	opt, err := pta.Compress(seq, "ptac", pta.Size(4), pta.Options{})
+	opt, err := cfg.compress(ctx, seq, "ptac", pta.Size(4), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := pta.Compress(seq, "gms", pta.Size(4), pta.Options{})
+	greedy, err := cfg.compress(ctx, seq, "gms", pta.Size(4), pta.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +282,7 @@ func kForReduction(n, cmin int, r float64) int {
 	return max(cmin, min(n, k))
 }
 
-func runFig14a(cfg Config) (*Table, error) {
+func runFig14a(ctx context.Context, cfg Config) (*Table, error) {
 	names := []string{"E1", "E2", "E3", "I1", "I2", "I3", "T1", "T2", "T3"}
 	ws, err := Workloads(cfg, names...)
 	if err != nil {
@@ -328,7 +329,7 @@ func runFig14a(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func runFig14b(cfg Config) (*Table, error) {
+func runFig14b(ctx context.Context, cfg Config) (*Table, error) {
 	n := cfg.scaled(2000)
 	full, err := dataset.Uniform(1, n, 10, cfg.Seed+6)
 	if err != nil {
@@ -387,7 +388,7 @@ type methodErrors struct {
 	gptac, atc, apca, dwt, paa float64
 }
 
-func runFig15(cfg Config) (*Table, error) {
+func runFig15(ctx context.Context, cfg Config) (*Table, error) {
 	ws, err := Workloads(cfg, "T1")
 	if err != nil {
 		return nil, err
@@ -447,12 +448,12 @@ func runFig15(cfg Config) (*Table, error) {
 	for _, r := range ratios {
 		c := kForReduction(n, cmin, r)
 		opt := curve[c-1]
-		g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
+		g, err := cfg.compress(ctx, seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
 		if err != nil {
 			return nil, err
 		}
 		atcErr, _ := nearestATC(c)
-		apcaRes, err := pta.Compress(seq, "apca", pta.Size(c), pta.Options{})
+		apcaRes, err := cfg.compress(ctx, seq, "apca", pta.Size(c), pta.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -462,7 +463,7 @@ func runFig15(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		dwtErr := pointSSE(vals, dwtRec)
-		paaRes, err := pta.Compress(seq, "paa", pta.Size(c), pta.Options{})
+		paaRes, err := cfg.compress(ctx, seq, "paa", pta.Size(c), pta.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -490,7 +491,7 @@ func abs(x int) int {
 
 // --- fig16 ---
 
-func runFig16(cfg Config) (*Table, error) {
+func runFig16(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "fig16", Title: "average error ratio against PTAc (E4: against gPTAc)",
 		Header: []string{"query", "gPTAc", "ATC", "APCA", "DWT", "PAA", "Cheb"},
@@ -510,7 +511,7 @@ func runFig16(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		seq := ws[0].Seq
-		row, err := fig16Row(cfg, sp.name, seq, sp.timeSeries)
+		row, err := fig16Row(ctx, cfg, sp.name, seq, sp.timeSeries)
 		if err != nil {
 			return nil, fmt.Errorf("fig16 %s: %v", sp.name, err)
 		}
@@ -522,7 +523,7 @@ func runFig16(cfg Config) (*Table, error) {
 }
 
 // fig16Row computes the average error ratios of one query.
-func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) ([]string, error) {
+func fig16Row(ctx context.Context, cfg Config, name string, seq *temporal.Sequence, timeSeries bool) ([]string, error) {
 	n, cmin := seq.Len(), seq.CMin()
 	emax, err := pta.MaxError(seq, pta.Options{})
 	if err != nil {
@@ -541,7 +542,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 	baseline := make(map[int]float64, len(grid))
 	if big {
 		for _, c := range grid {
-			g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
+			g, err := cfg.compress(ctx, seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
 			if err != nil {
 				return nil, err
 			}
@@ -601,7 +602,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 			continue // ratio unstable where the optimum is ~exact
 		}
 		if !big {
-			g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
+			g, err := cfg.compress(ctx, seq, "gptac", pta.Size(c), pta.Options{ReadAhead: pta.ReadAheadInf})
 			if err != nil {
 				return nil, err
 			}
@@ -613,7 +614,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 			add(&atc, best/opt)
 		}
 		if timeSeries {
-			apcaRes, err := pta.Compress(seq, "apca", pta.Size(c), pta.Options{})
+			apcaRes, err := cfg.compress(ctx, seq, "apca", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -623,7 +624,7 @@ func fig16Row(cfg Config, name string, seq *temporal.Sequence, timeSeries bool) 
 				return nil, err
 			}
 			add(&dwt, pointSSE(vals, rec)/opt)
-			paaRes, err := pta.Compress(seq, "paa", pta.Size(c), pta.Options{})
+			paaRes, err := cfg.compress(ctx, seq, "paa", pta.Size(c), pta.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -679,7 +680,7 @@ func pointSSE(vals, rec []float64) float64 {
 
 // --- fig17 ---
 
-func runFig17(cfg Config) (*Table, error) {
+func runFig17(ctx context.Context, cfg Config) (*Table, error) {
 	names := []string{"E1", "E2", "E3", "I1", "I2", "I3", "T1", "T2", "T3"}
 	// δ settings in pta.Options.ReadAhead convention: 0, 1, 2, ∞.
 	deltas := []int{pta.ReadAheadEager, 1, 2, pta.ReadAheadInf}
@@ -728,7 +729,7 @@ func runFig17(cfg Config) (*Table, error) {
 				if opt <= 1e-9*emax {
 					continue
 				}
-				g, err := pta.Compress(seq, "gptac", pta.Size(c), pta.Options{ReadAhead: d})
+				g, err := cfg.compress(ctx, seq, "gptac", pta.Size(c), pta.Options{ReadAhead: d})
 				if err != nil {
 					return nil, err
 				}
@@ -765,7 +766,7 @@ func runFig17(cfg Config) (*Table, error) {
 				if opt <= 1e-9*emax {
 					continue
 				}
-				g, err := pta.Compress(seq, "gptae", pta.ErrorBound(eps),
+				g, err := cfg.compress(ctx, seq, "gptae", pta.ErrorBound(eps),
 					pta.Options{ReadAhead: d, Estimate: &est})
 				if err != nil {
 					return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,7 +17,7 @@ func init() {
 // budget and an error budget. It is the conformance table of the facade: one
 // row per registered strategy, "n/a" where a budget kind or the series shape
 // is unsupported, and the wall-clock and error cost of each.
-func runStrategies(cfg Config) (*Table, error) {
+func runStrategies(ctx context.Context, cfg Config) (*Table, error) {
 	ws, err := Workloads(cfg, "T1")
 	if err != nil {
 		return nil, err
@@ -42,7 +43,7 @@ func runStrategies(cfg Config) (*Table, error) {
 			var res *pta.Result
 			d, err := timeIt(func() error {
 				var cerr error
-				res, cerr = pta.Compress(seq, info.Name, b, pta.Options{})
+				res, cerr = cfg.compress(ctx, seq, info.Name, b, pta.Options{})
 				return cerr
 			})
 			switch {

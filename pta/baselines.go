@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/approx"
@@ -71,7 +72,10 @@ func (b *baseline) score(s *Series, segs []approx.Segment, opts Options) (*Resul
 	return &Result{Series: z, C: len(rows), Error: sse}, nil
 }
 
-func (b *baseline) Evaluate(s *Series, bud Budget, opts Options) (*Result, error) {
+func (b *baseline) Evaluate(ctx context.Context, s *Series, bud Budget, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	series, err := b.prep(s)
 	if err != nil {
 		return nil, err

@@ -8,16 +8,23 @@
 //     (Size) or an error bound ε relative to SSEmax (ErrorBound).
 //   - Evaluator is the strategy interface; the package registry names every
 //     implementation (exact dynamic programming, greedy merging, streaming
-//     greedy with δ read-ahead, and the classic time-series baselines PAA,
-//     PLA and APCA behind the same interface). Strategies lists the names.
-//   - Compress resolves a strategy by name and runs it; CompressStream does
-//     the same over a row stream for the streaming evaluators.
+//     greedy with δ read-ahead, age-weighted amnesic reduction, and the
+//     classic time-series baselines PAA, PLA and APCA behind the same
+//     interface). Strategies lists the names.
+//   - Engine is the session-oriented entry point: New(opts...) configures
+//     weights, parallelism, estimators and reusable scratch buffers once,
+//     then Compress/CompressMany/CompressStream evaluate any number of
+//     plans under a context, concurrently safe.
 //
 // A minimal end-to-end use:
 //
 //	seq, _ := ita.Eval(rel, query)                      // ITA result
-//	res, err := pta.Compress(seq, "ptac", pta.Size(12), pta.Options{})
+//	eng, _ := pta.New(pta.WithParallelism(4))
+//	res, err := eng.Compress(ctx, seq, pta.Plan{Strategy: "ptac", Budget: pta.Size(12)})
 //	// res.Series has ≤ 12 rows, res.Error is the introduced SSE
+//
+// The context-free helpers Compress and CompressStream wrap a lazily
+// initialized serial default engine, so one-shot callers stay one line.
 //
 // New backends register themselves with Register and become available to
 // every consumer — the CLI, the benchmark harness and the experiment suite
@@ -25,7 +32,7 @@
 package pta
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/temporal"
@@ -83,7 +90,9 @@ const (
 )
 
 // Options carries evaluation parameters shared by all strategies. The zero
-// value is ready to use.
+// value is ready to use. Engine-level defaults are set once with the
+// functional options of New (WithWeights, WithReadAhead); per-call overrides
+// travel in Plan.Options.
 type Options struct {
 	// Weights holds one positive weight per aggregate attribute (w_d of
 	// Definition 5). nil means all weights are 1.
@@ -95,12 +104,30 @@ type Options struct {
 	ReadAhead int
 	// Estimate overrides the (N, EMax) estimate of the streaming
 	// error-bounded strategy. nil lets in-memory evaluation compute the
-	// exact values; CompressStream with an error budget requires it.
+	// exact values; CompressStream with an error budget requires it (or an
+	// engine-level WithEstimator).
 	Estimate *Estimate
+	// Amnesic is the relative amnesic function RA(t) of the "amnesic"
+	// strategy: how much more error a chronon tolerates than the present
+	// (values must be positive; typically grows with age). nil selects
+	// AmnesicLinearAge over the series' own time span. Other strategies
+	// ignore it.
+	Amnesic func(Chronon) float64
+
+	// scratch carries the engine's reusable DP buffers for this call; it is
+	// set by the engine only and never shared across concurrent calls.
+	scratch *core.Scratch
 }
 
-// coreOptions projects the options onto the internal evaluator options.
+// coreOptions projects the options onto the internal evaluator options,
+// without cancellation.
 func (o Options) coreOptions() core.Options { return core.Options{Weights: o.Weights} }
+
+// coreOptionsCtx projects the options onto the internal evaluator options,
+// carrying the call context and the engine scratch buffers.
+func (o Options) coreOptionsCtx(ctx context.Context) core.Options {
+	return core.Options{Weights: o.Weights, Ctx: ctx, Scratch: o.scratch}
+}
 
 // delta resolves the effective δ.
 func (o Options) delta() int {
@@ -150,55 +177,24 @@ type Result struct {
 }
 
 // Compress reduces the series under the given budget with the named
-// strategy (see Strategies for the registry). It is the primary entry point
-// of the library.
+// strategy (see Strategies for the registry). It is a thin wrapper over a
+// lazily-initialized default Engine — context-free and serial, so existing
+// callers keep compiling; new code that wants cancellation, reuse or
+// group-parallel evaluation should hold its own Engine from New.
 func Compress(s *Series, strategy string, b Budget, opts Options) (*Result, error) {
-	ev, err := resolve(strategy, b)
-	if err != nil {
-		return nil, err
-	}
-	res, err := ev.Evaluate(s, b, opts)
-	if err != nil {
-		return nil, fmt.Errorf("pta: %s: %w", strategy, err)
-	}
-	res.Strategy, res.Budget = strategy, b
-	return res, nil
+	return defaultEngine().Compress(context.Background(), s,
+		Plan{Strategy: strategy, Budget: b, Options: &opts})
 }
 
 // CompressStream reduces a row stream under the given budget with the named
 // strategy, which must be stream-capable (a StreamEvaluator — see Describe).
 // With an error budget, Options.Estimate must provide the (N, EMax) guesses,
-// since the exact values are unknowable before the stream ends.
+// since the exact values are unknowable before the stream ends. Like
+// Compress, it wraps the default Engine; Engine.CompressStream additionally
+// pushes the result rows into a Sink.
 func CompressStream(src Stream, strategy string, b Budget, opts Options) (*Result, error) {
-	ev, err := resolve(strategy, b)
-	if err != nil {
-		return nil, err
-	}
-	sev, ok := ev.(StreamEvaluator)
-	if !ok {
-		return nil, fmt.Errorf("pta: strategy %q: %w", strategy, ErrNotStreaming)
-	}
-	res, err := sev.EvaluateStream(src, b, opts)
-	if err != nil {
-		return nil, fmt.Errorf("pta: %s: %w", strategy, err)
-	}
-	res.Strategy, res.Budget = strategy, b
-	return res, nil
-}
-
-// resolve validates the budget and looks the strategy up.
-func resolve(strategy string, b Budget) (Evaluator, error) {
-	if err := b.Validate(); err != nil {
-		return nil, err
-	}
-	ev, ok := Lookup(strategy)
-	if !ok {
-		return nil, fmt.Errorf("pta: strategy %q: %w (have %v)", strategy, ErrUnknownStrategy, Strategies())
-	}
-	if !ev.Supports(b.Kind()) {
-		return nil, fmt.Errorf("pta: strategy %q, budget %v: %w", strategy, b.Kind(), ErrBudgetKind)
-	}
-	return ev, nil
+	return defaultEngine().CompressStream(context.Background(), src,
+		Plan{Strategy: strategy, Budget: b, Options: &opts}, nil)
 }
 
 // MaxError returns SSEmax(s): the error of merging every maximal adjacent

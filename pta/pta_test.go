@@ -50,7 +50,7 @@ func projITA(t *testing.T) *pta.Series {
 // facade contract is present, described, and at least 8 are registered.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"apca", "dpbasic", "gms", "gms-bridged", "gptac", "gptae",
+		"amnesic", "apca", "dpbasic", "gms", "gms-bridged", "gptac", "gptae",
 		"paa", "pla", "ptac", "ptac-imax", "ptac-jmin", "ptac-parallel", "ptae",
 	}
 	got := pta.Strategies()

@@ -1,30 +1,15 @@
 package pta
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 )
 
-// Sentinel errors of the facade, matchable with errors.Is.
-var (
-	// ErrUnknownStrategy reports a strategy name absent from the registry.
-	ErrUnknownStrategy = errors.New("unknown strategy")
-	// ErrBudgetKind reports a budget kind the strategy does not support.
-	ErrBudgetKind = errors.New("unsupported budget kind")
-	// ErrNotStreaming reports a CompressStream call on a strategy that
-	// needs its whole input in memory.
-	ErrNotStreaming = errors.New("strategy is not stream-capable")
-	// ErrSeriesShape reports an input outside a strategy's applicability:
-	// the classic time-series baselines need a single-group, gap-free,
-	// one-dimensional series.
-	ErrSeriesShape = errors.New("series shape unsupported by strategy")
-)
-
 // Evaluator is a named compression strategy. Implementations are registered
-// with Register and resolved by name through Compress; they must be safe for
-// concurrent use.
+// with Register and resolved by name through Engine.Compress and the
+// package-level Compress; they must be safe for concurrent use.
 type Evaluator interface {
 	// Name is the registry key, e.g. "ptac".
 	Name() string
@@ -33,9 +18,10 @@ type Evaluator interface {
 	// Supports reports whether the strategy accepts the budget kind.
 	Supports(k BudgetKind) bool
 	// Evaluate compresses an in-memory series under the budget. The
-	// returned Result carries the reduced series and its true error;
-	// Compress stamps Strategy and Budget.
-	Evaluate(s *Series, b Budget, opts Options) (*Result, error)
+	// context is polled inside the evaluation loops, so long runs abort
+	// promptly on cancellation. The returned Result carries the reduced
+	// series and its true error; the engine stamps Strategy and Budget.
+	Evaluate(ctx context.Context, s *Series, b Budget, opts Options) (*Result, error)
 }
 
 // StreamEvaluator is an Evaluator that can also compress a row stream in
@@ -44,7 +30,19 @@ type StreamEvaluator interface {
 	Evaluator
 	// EvaluateStream compresses the stream under the budget. Error budgets
 	// require Options.Estimate.
-	EvaluateStream(src Stream, b Budget, opts Options) (*Result, error)
+	EvaluateStream(ctx context.Context, src Stream, b Budget, opts Options) (*Result, error)
+}
+
+// ParallelEvaluator is an Evaluator whose evaluation decomposes over the
+// maximal adjacent runs of the series (aggregation groups are a coarsening
+// of runs), so independent parts can be evaluated concurrently without
+// changing the result. Engine routes through it when its parallelism
+// exceeds one.
+type ParallelEvaluator interface {
+	Evaluator
+	// EvaluateParallel compresses like Evaluate on a pool of workers
+	// goroutines (0 = all cores) and returns an equivalent result.
+	EvaluateParallel(ctx context.Context, s *Series, b Budget, opts Options, workers int) (*Result, error)
 }
 
 var (

@@ -1,17 +1,23 @@
 package pta
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 )
 
 // funcEvaluator adapts per-budget-kind functions to the Evaluator interface.
-// A nil function means the kind is unsupported.
+// A nil function means the kind is unsupported. Exact dynamic-programming
+// strategies additionally carry their pruning flags (dp=true), which lets
+// the engine amortize several budgets on one series through core.DPMulti.
 type funcEvaluator struct {
 	name, desc string
-	size       func(s *Series, c int, opts Options) (*Result, error)
-	errb       func(s *Series, eps float64, opts Options) (*Result, error)
+	size       func(ctx context.Context, s *Series, c int, opts Options) (*Result, error)
+	errb       func(ctx context.Context, s *Series, eps float64, opts Options) (*Result, error)
+
+	dp             bool // exact DP evaluator: eligible for shared-matrix multi-budget runs
+	pruneI, pruneJ bool // the Section 5.3 bounds the DP applies
 }
 
 func (f *funcEvaluator) Name() string        { return f.name }
@@ -27,41 +33,66 @@ func (f *funcEvaluator) Supports(k BudgetKind) bool {
 	return false
 }
 
-func (f *funcEvaluator) Evaluate(s *Series, b Budget, opts Options) (*Result, error) {
+func (f *funcEvaluator) Evaluate(ctx context.Context, s *Series, b Budget, opts Options) (*Result, error) {
 	switch b.Kind() {
 	case BudgetSize:
 		if f.size == nil {
 			return nil, ErrBudgetKind
 		}
-		return f.size(s, b.C(), opts)
+		return f.size(ctx, s, b.C(), opts)
 	case BudgetError:
 		if f.errb == nil {
 			return nil, ErrBudgetKind
 		}
-		return f.errb(s, b.Eps(), opts)
+		return f.errb(ctx, s, b.Eps(), opts)
 	}
 	return nil, ErrBudgetKind
+}
+
+// multiDP reports the DP pruning flags when the evaluator is an exact
+// dynamic program, making it eligible for Engine.CompressMany's
+// shared-matrix amortization.
+func (f *funcEvaluator) multiDP() (pruneI, pruneJ, ok bool) {
+	return f.pruneI, f.pruneJ, f.dp
 }
 
 // streamFuncEvaluator additionally serves streams.
 type streamFuncEvaluator struct {
 	funcEvaluator
-	streamSize func(src Stream, c int, opts Options) (*Result, error)
-	streamErrb func(src Stream, eps float64, opts Options) (*Result, error)
+	streamSize func(ctx context.Context, src Stream, c int, opts Options) (*Result, error)
+	streamErrb func(ctx context.Context, src Stream, eps float64, opts Options) (*Result, error)
 }
 
-func (f *streamFuncEvaluator) EvaluateStream(src Stream, b Budget, opts Options) (*Result, error) {
+func (f *streamFuncEvaluator) EvaluateStream(ctx context.Context, src Stream, b Budget, opts Options) (*Result, error) {
 	switch b.Kind() {
 	case BudgetSize:
 		if f.streamSize == nil {
 			return nil, ErrBudgetKind
 		}
-		return f.streamSize(src, b.C(), opts)
+		return f.streamSize(ctx, src, b.C(), opts)
 	case BudgetError:
 		if f.streamErrb == nil {
 			return nil, ErrBudgetKind
 		}
-		return f.streamErrb(src, b.Eps(), opts)
+		return f.streamErrb(ctx, src, b.Eps(), opts)
+	}
+	return nil, ErrBudgetKind
+}
+
+// parallelDPEvaluator is a fully pruned exact DP evaluator that can also
+// decompose its evaluation over maximal adjacent runs: the group-parallel
+// execution path of the engine (core.PTAcParallel / core.PTAeParallel).
+type parallelDPEvaluator struct {
+	funcEvaluator
+}
+
+func (f *parallelDPEvaluator) EvaluateParallel(ctx context.Context, s *Series, b Budget, opts Options, workers int) (*Result, error) {
+	copts := opts.coreOptionsCtx(ctx)
+	switch b.Kind() {
+	case BudgetSize:
+		return fromDP(core.PTAcParallel(s, b.C(), copts, workers))
+	case BudgetError:
+		return fromDP(core.PTAeParallel(s, b.Eps(), copts, workers))
 	}
 	return nil, ErrBudgetKind
 }
@@ -102,17 +133,25 @@ func resolveEstimate(s *Series, opts Options) (Estimate, error) {
 }
 
 // dpStrategy builds an exact dynamic-programming evaluator for one pruning
-// mode.
-func dpStrategy(name, desc string, mode core.PruneMode) *funcEvaluator {
-	return &funcEvaluator{
+// mode. The fully pruned mode (the paper's PTAc/PTAe proper) additionally
+// supports run-decomposed parallel evaluation.
+func dpStrategy(name, desc string, mode core.PruneMode) Evaluator {
+	fe := funcEvaluator{
 		name: name, desc: desc,
-		size: func(s *Series, c int, opts Options) (*Result, error) {
-			return fromDP(core.PTAcAblation(s, c, opts.coreOptions(), mode))
+		dp:     true,
+		pruneI: mode == core.PruneIMax || mode == core.PruneBoth,
+		pruneJ: mode == core.PruneJMin || mode == core.PruneBoth,
+		size: func(ctx context.Context, s *Series, c int, opts Options) (*Result, error) {
+			return fromDP(core.PTAcAblation(s, c, opts.coreOptionsCtx(ctx), mode))
 		},
-		errb: func(s *Series, eps float64, opts Options) (*Result, error) {
-			return fromDP(core.PTAeAblation(s, eps, opts.coreOptions(), mode))
+		errb: func(ctx context.Context, s *Series, eps float64, opts Options) (*Result, error) {
+			return fromDP(core.PTAeAblation(s, eps, opts.coreOptionsCtx(ctx), mode))
 		},
 	}
+	if mode == core.PruneBoth {
+		return &parallelDPEvaluator{funcEvaluator: fe}
+	}
+	return &fe
 }
 
 func init() {
@@ -131,11 +170,14 @@ func init() {
 		"exact DP, split-point bound jmin only (Section 5.3 ablation)", core.PruneJMin))
 
 	// Run-decomposed multicore exact evaluation (engineering extension).
+	// Engine.Compress with WithParallelism reaches the same code path for
+	// plain "ptac"/"ptae"; this registry entry keeps the decomposition
+	// directly addressable and always uses every core.
 	Register(&funcEvaluator{
 		name: "ptac-parallel",
 		desc: "exact DP decomposed over maximal runs, evaluated on all cores",
-		size: func(s *Series, c int, opts Options) (*Result, error) {
-			return fromDP(core.PTAcParallel(s, c, opts.coreOptions(), 0))
+		size: func(ctx context.Context, s *Series, c int, opts Options) (*Result, error) {
+			return fromDP(core.PTAcParallel(s, c, opts.coreOptionsCtx(ctx), 0))
 		},
 	})
 
@@ -143,11 +185,11 @@ func init() {
 	Register(&funcEvaluator{
 		name: "gms",
 		desc: "greedy merging of the most similar adjacent pair (GMS, Theorem 1)",
-		size: func(s *Series, c int, opts Options) (*Result, error) {
-			return fromGreedy(core.GMS(s, c, opts.coreOptions()))
+		size: func(ctx context.Context, s *Series, c int, opts Options) (*Result, error) {
+			return fromGreedy(core.GMS(s, c, opts.coreOptionsCtx(ctx)))
 		},
-		errb: func(s *Series, eps float64, opts Options) (*Result, error) {
-			return fromGreedy(core.GMSError(s, eps, opts.coreOptions()))
+		errb: func(ctx context.Context, s *Series, eps float64, opts Options) (*Result, error) {
+			return fromGreedy(core.GMSError(s, eps, opts.coreOptionsCtx(ctx)))
 		},
 	})
 
@@ -157,32 +199,32 @@ func init() {
 	Register(&funcEvaluator{
 		name: "gms-bridged",
 		desc: "greedy merging that may bridge temporal gaps within a group",
-		size: func(s *Series, c int, opts Options) (*Result, error) {
-			return fromGreedy(core.GMSBridged(s, c, opts.coreOptions()))
+		size: func(ctx context.Context, s *Series, c int, opts Options) (*Result, error) {
+			return fromGreedy(core.GMSBridged(s, c, opts.coreOptionsCtx(ctx)))
 		},
 	})
 
 	// Streaming greedy evaluators with δ read-ahead (Section 6.2). Both
 	// accept both budget kinds; they differ in which bound they stream
 	// natively and serve as each other's dual for the opposite kind.
-	gptacSize := func(src Stream, c int, opts Options) (*Result, error) {
-		return fromGreedy(core.GPTAc(src, c, opts.delta(), opts.coreOptions()))
+	gptacSize := func(ctx context.Context, src Stream, c int, opts Options) (*Result, error) {
+		return fromGreedy(core.GPTAc(src, c, opts.delta(), opts.coreOptionsCtx(ctx)))
 	}
-	gptaeErrb := func(src Stream, eps float64, opts Options) (*Result, error) {
+	gptaeErrb := func(ctx context.Context, src Stream, eps float64, opts Options) (*Result, error) {
 		if opts.Estimate == nil {
 			return nil, fmt.Errorf("error-bounded streaming needs Options.Estimate (N, EMax)")
 		}
-		return fromGreedy(core.GPTAe(src, eps, opts.delta(), *opts.Estimate, opts.coreOptions()))
+		return fromGreedy(core.GPTAe(src, eps, opts.delta(), *opts.Estimate, opts.coreOptionsCtx(ctx)))
 	}
-	memSize := func(s *Series, c int, opts Options) (*Result, error) {
-		return gptacSize(NewStream(s), c, opts)
+	memSize := func(ctx context.Context, s *Series, c int, opts Options) (*Result, error) {
+		return gptacSize(ctx, NewStream(s), c, opts)
 	}
-	memErrb := func(s *Series, eps float64, opts Options) (*Result, error) {
+	memErrb := func(ctx context.Context, s *Series, eps float64, opts Options) (*Result, error) {
 		est, err := resolveEstimate(s, opts)
 		if err != nil {
 			return nil, err
 		}
-		return fromGreedy(core.GPTAe(NewStream(s), eps, opts.delta(), est, opts.coreOptions()))
+		return fromGreedy(core.GPTAe(NewStream(s), eps, opts.delta(), est, opts.coreOptionsCtx(ctx)))
 	}
 	Register(&streamFuncEvaluator{
 		funcEvaluator: funcEvaluator{
