@@ -214,17 +214,11 @@ func readAhead(delta int) int {
 	}
 }
 
+// listStrategies prints the canonical registry table — the same description
+// source GET /v1/strategies serves as JSON (see pta.FormatStrategies).
 func listStrategies() {
-	fmt.Printf("%-14s %-5s %-5s %-7s %s\n", "strategy", "c", "eps", "stream", "description")
-	for _, info := range pta.Describe() {
-		mark := func(b bool) string {
-			if b {
-				return "yes"
-			}
-			return "-"
-		}
-		fmt.Printf("%-14s %-5s %-5s %-7s %s\n",
-			info.Name, mark(info.Size), mark(info.Error), mark(info.Streaming), info.Description)
+	if err := pta.FormatStrategies(os.Stdout); err != nil {
+		fail(err)
 	}
 }
 

@@ -1,0 +1,93 @@
+// Command ptaserve is the HTTP/JSON compression daemon: a network boundary
+// around the pta Engine with a shared LRU matrix cache, so many clients can
+// request many resolutions of hot series cheaply (internal/serve holds the
+// handlers; docs/ARCHITECTURE.md the design).
+//
+// Endpoints:
+//
+//	POST /v1/compress       one series, one plan
+//	POST /v1/compress/many  one series, several plans (amortized)
+//	GET  /v1/strategies     the strategy registry
+//	GET  /v1/stats          cache and request counters
+//	GET  /healthz           liveness
+//
+// SIGINT/SIGTERM drain in-flight requests and exit 0 (graceful shutdown), so
+// process managers can roll the daemon without dropping evaluations.
+//
+// Example session:
+//
+//	ptaserve -addr :8080 -parallel 4 &
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/compress -d @request.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/pta"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port, :0 picks a free port)")
+		parallel = flag.Int("parallel", 1, "engine worker goroutines for group-parallel strategies (0 = all cores)")
+		cache    = flag.Int("cache", 64, "matrix cache capacity in entries")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline (requests may tighten it with timeout_ms)")
+		maxBody  = flag.Int64("max-body", 8<<20, "request body limit in bytes")
+		inflight = flag.Int("inflight", 0, "max concurrently evaluated compressions (0 = 2×GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ptaserve: ", log.LstdFlags)
+	if err := run(*addr, *parallel, *cache, *timeout, *maxBody, *inflight, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run wires the engine and server and serves until SIGINT/SIGTERM.
+func run(addr string, parallel, cache int, timeout time.Duration, maxBody int64, inflight int, logger *log.Logger) error {
+	// One long-lived engine per deployment: request handlers share its
+	// worker parallelism and pooled DP scratch buffers.
+	engine, err := pta.New(
+		pta.WithParallelism(parallel),
+		pta.WithScratchPool(pta.NewScratchPool()),
+	)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Engine:       engine,
+		CacheEntries: cache,
+		Timeout:      timeout,
+		MaxBodyBytes: maxBody,
+		MaxInflight:  inflight,
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on http://%s (parallel=%d cache=%d timeout=%v)",
+		ln.Addr(), parallel, cache, timeout)
+	if err := srv.Serve(ctx, ln); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	logger.Printf("shut down cleanly")
+	return nil
+}

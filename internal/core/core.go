@@ -60,6 +60,16 @@ func (o Options) canceled() error {
 	return nil
 }
 
+// acceptErrorBound returns the threshold for testing a row error against an
+// error bound eps·SSEmax. Prefix sums accumulated in different orders leave
+// O(ulp)-scale residue on exact ties — eps = 0 over duplicate values, eps = 1
+// at cmin — which must not move the minimal feasible size, so every
+// error-bounded search (serial, parallel, multi-budget, solver) accepts
+// through this one function.
+func acceptErrorBound(bound, maxErr float64) float64 {
+	return bound*(1+1e-9) + 1e-12*maxErr
+}
+
 // InfeasibleSizeError reports a size budget below the smallest reachable
 // reduction size cmin (the number of maximal adjacent runs): no sequence of
 // adjacent merges can shrink the input that far.

@@ -127,6 +127,9 @@ func (st *dpState) fillRow(k int) (float64, error) {
 		st.stats.Cells++
 		if st.stats.Cells%cancelCheckCells == 0 {
 			if err := st.opts.canceled(); err != nil {
+				// Undo the row swap so curE is E[k−1] again: a retained
+				// state (core.Solver) may retry this row after the abort.
+				st.prevE, st.curE = st.curE, st.prevE
 				return 0, err
 			}
 		}
@@ -338,7 +341,8 @@ func runErrorBoundedMode(seq *temporal.Sequence, eps float64, opts Options, prun
 	if err != nil {
 		return nil, err
 	}
-	bound := eps * px.MaxError()
+	maxErr := px.MaxError()
+	bound := acceptErrorBound(eps*maxErr, maxErr)
 	st := newDPState(px, opts, true, true)
 	st.pruneI, st.pruneJ = pruneI, pruneJ
 	for k := 1; k <= n; k++ {

@@ -70,7 +70,7 @@ func DPMulti(seq *temporal.Sequence, budgets []MultiBudget, opts Options, pruneI
 			maxErr = px.MaxError()
 			maxErrKnown = true
 		}
-		bounds[i] = b.Eps * maxErr
+		bounds[i] = acceptErrorBound(b.Eps*maxErr, maxErr)
 		pendingEps++
 	}
 

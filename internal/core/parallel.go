@@ -203,12 +203,8 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 	if err != nil {
 		return nil, err
 	}
-	bound := eps * px.MaxError()
-	// The per-run curves and the global SSEmax accumulate the same sums in
-	// different orders, so comparing them exactly can miss a feasible size
-	// by a few ulps (visible at eps = 1, where E[cmin] = SSEmax must hold);
-	// a hair of relative slack restores the serial decision.
-	accept := bound * (1 + 1e-9)
+	maxErr := px.MaxError()
+	accept := acceptErrorBound(eps*maxErr, maxErr)
 
 	// Iterative deepening preserves the serial evaluator's early exit: a
 	// total size of K needs per-run curves only up to K−R+1 (every other

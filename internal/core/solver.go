@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// Solver owns an incrementally filled pair of DP matrices for one sequence:
+// the error column E[k][n] and every split-point row J[k] computed so far are
+// retained, so answering a new budget reuses all rows filled by earlier
+// budgets and only extends the matrices when a deeper row is needed. It is
+// the unit a serving layer caches per hot series — a repeated budget costs
+// one backtrack, no DP fill at all.
+//
+// A Solver is NOT safe for concurrent use; callers serialize access (the
+// serve-layer cache guards each entry with a mutex). The context travels per
+// call, so one cached Solver serves requests with different deadlines.
+type Solver struct {
+	px     *Prefix
+	st     *dpState
+	opts   Options   // construction options; Ctx is replaced per call
+	rowErr []float64 // rowErr[k] = E[k][n] for k = 1..filled
+	filled int
+	bound  float64 // SSEmax, resolved lazily for error budgets
+	hasMax bool
+}
+
+// NewSolver builds a solver for the sequence with the given pruning flags
+// (PruneBoth semantics split into its two Section 5.3 bounds, matching
+// DPMulti). The options' Ctx and Scratch are ignored: rows must outlive any
+// single call, so the solver always owns its buffers.
+func NewSolver(seq *temporal.Sequence, opts Options, pruneI, pruneJ bool) (*Solver, error) {
+	if seq.Len() == 0 {
+		return nil, fmt.Errorf("core: solver over an empty relation")
+	}
+	opts.Ctx, opts.Scratch = nil, nil
+	px, err := NewPrefix(seq, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := newDPState(px, opts, true, true)
+	st.pruneI, st.pruneJ = pruneI, pruneJ
+	st.ownSplits = true
+	return &Solver{
+		px:     px,
+		st:     st,
+		opts:   opts,
+		rowErr: make([]float64, px.N()+1),
+	}, nil
+}
+
+// N returns the input size n.
+func (sv *Solver) N() int { return sv.px.N() }
+
+// Rows returns how many matrix rows have been filled so far.
+func (sv *Solver) Rows() int { return sv.filled }
+
+// Stats reports the cumulative work of every row filled so far (not a
+// per-budget share — a fully warm solver answers budgets with zero new
+// cells).
+func (sv *Solver) Stats() DPStats { return sv.st.stats }
+
+// MemBytes estimates the retained matrix memory: the split-point rows
+// dominate (one int32 per column per filled row).
+func (sv *Solver) MemBytes() int64 {
+	n := int64(sv.px.N() + 1)
+	return int64(sv.filled)*n*4 + // J rows
+		3*n*8 // prevE, curE, rowErr
+}
+
+// ensure fills rows filled+1..k under ctx. Rows are filled strictly in
+// order; already-filled rows are never recomputed.
+func (sv *Solver) ensure(ctx context.Context, k int) error {
+	sv.st.opts.Ctx = ctx
+	for next := sv.filled + 1; next <= k; next++ {
+		e, err := sv.st.fillRow(next)
+		if err != nil {
+			return err
+		}
+		sv.rowErr[next] = e
+		sv.filled = next
+	}
+	return nil
+}
+
+// SolveSize answers a size budget c: the minimal-error reduction to at most
+// c tuples, reusing every previously filled row.
+func (sv *Solver) SolveSize(ctx context.Context, c int) (*DPResult, error) {
+	n := sv.px.N()
+	if cmin := sv.px.CMin(); c < cmin {
+		return nil, &InfeasibleSizeError{C: c, CMin: cmin}
+	}
+	if c >= n {
+		return &DPResult{Sequence: sv.px.Sequence().Clone(), C: n, Stats: sv.st.stats}, nil
+	}
+	if err := sv.ensure(ctx, c); err != nil {
+		return nil, err
+	}
+	return &DPResult{
+		Sequence: sv.px.Sequence().WithRows(sv.st.reconstruct(c)),
+		C:        c,
+		Error:    sv.rowErr[c],
+		Stats:    sv.st.stats,
+	}, nil
+}
+
+// SolveError answers an error budget eps ∈ [0, 1]: the smallest k whose
+// reduction introduces at most eps·SSEmax error. Rows filled while searching
+// are retained for later budgets.
+func (sv *Solver) SolveError(ctx context.Context, eps float64) (*DPResult, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("core: error bound %v outside [0, 1]", eps)
+	}
+	if !sv.hasMax {
+		sv.bound = sv.px.MaxError()
+		sv.hasMax = true
+	}
+	bound := acceptErrorBound(eps*sv.bound, sv.bound)
+	n := sv.px.N()
+	for k := 1; k <= n; k++ {
+		if k > sv.filled {
+			if err := sv.ensure(ctx, k); err != nil {
+				return nil, err
+			}
+		}
+		if sv.rowErr[k] <= bound {
+			return &DPResult{
+				Sequence: sv.px.Sequence().WithRows(sv.st.reconstruct(k)),
+				C:        k,
+				Error:    sv.rowErr[k],
+				Stats:    sv.st.stats,
+			}, nil
+		}
+	}
+	// E[n][n] = 0 ≤ bound always triggers within the loop.
+	panic("core: solver error-bounded search did not terminate")
+}

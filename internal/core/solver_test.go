@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ita"
+	"repro/internal/temporal"
+)
+
+func solverInput(t *testing.T) *temporal.Sequence {
+	t.Helper()
+	seq, err := ita.Eval(dataset.Proj(), ita.Query{
+		GroupBy: []string{"Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// TestSolverMatchesPTAc pins the solver against the one-shot evaluators on
+// every feasible size and a ladder of error bounds.
+func TestSolverMatchesPTAc(t *testing.T) {
+	for _, mk := range []func(*testing.T) *temporal.Sequence{
+		solverInput,
+		func(t *testing.T) *temporal.Sequence {
+			seq, err := dataset.Uniform(5, 30, 2, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return seq
+		},
+	} {
+		seq := mk(t)
+		sv, err := NewSolver(seq, Options{}, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for c := seq.CMin(); c <= seq.Len(); c++ {
+			want, err := PTAc(seq, c, Options{})
+			if err != nil {
+				t.Fatalf("PTAc(%d): %v", c, err)
+			}
+			got, err := sv.SolveSize(ctx, c)
+			if err != nil {
+				t.Fatalf("SolveSize(%d): %v", c, err)
+			}
+			if got.C != want.C || math.Abs(got.Error-want.Error) > 1e-6*(1+want.Error) {
+				t.Fatalf("SolveSize(%d) = (C=%d, E=%g), want (C=%d, E=%g)",
+					c, got.C, got.Error, want.C, want.Error)
+			}
+			if !got.Sequence.Equal(want.Sequence, 1e-9) {
+				t.Fatalf("SolveSize(%d) rows differ from PTAc", c)
+			}
+		}
+		for _, eps := range []float64{0, 0.01, 0.05, 0.2, 0.5, 1} {
+			want, err := PTAe(seq, eps, Options{})
+			if err != nil {
+				t.Fatalf("PTAe(%v): %v", eps, err)
+			}
+			got, err := sv.SolveError(ctx, eps)
+			if err != nil {
+				t.Fatalf("SolveError(%v): %v", eps, err)
+			}
+			if got.C != want.C || math.Abs(got.Error-want.Error) > 1e-6*(1+want.Error) {
+				t.Fatalf("SolveError(%v) = (C=%d, E=%g), want (C=%d, E=%g)",
+					eps, got.C, got.Error, want.C, want.Error)
+			}
+		}
+	}
+}
+
+// TestSolverReusesRows asserts the point of the solver: a repeated or
+// shallower budget fills no new matrix cells.
+func TestSolverReusesRows(t *testing.T) {
+	seq := solverInput(t)
+	sv, err := NewSolver(seq, Options{}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sv.SolveSize(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	warm := sv.Stats().Cells
+	if warm == 0 {
+		t.Fatal("first solve filled no cells")
+	}
+	if sv.Rows() != 5 {
+		t.Fatalf("Rows() = %d after c=5, want 5", sv.Rows())
+	}
+	for _, c := range []int{5, 4, 3} {
+		if _, err := sv.SolveSize(ctx, c); err != nil {
+			t.Fatalf("SolveSize(%d): %v", c, err)
+		}
+	}
+	if got := sv.Stats().Cells; got != warm {
+		t.Fatalf("warm solves filled %d new cells, want 0", got-warm)
+	}
+	// A deeper budget extends, not refills.
+	if _, err := sv.SolveSize(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Rows() != 6 {
+		t.Fatalf("Rows() = %d after c=6, want 6", sv.Rows())
+	}
+	if sv.MemBytes() <= 0 {
+		t.Fatal("MemBytes() not positive")
+	}
+}
+
+// TestSolverInfeasibleAndCanceled covers the failure paths the serving layer
+// maps to HTTP statuses.
+func TestSolverInfeasibleAndCanceled(t *testing.T) {
+	seq := solverInput(t)
+	sv, err := NewSolver(seq, Options{}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inf *InfeasibleSizeError
+	if _, err := sv.SolveSize(context.Background(), seq.CMin()-1); !errors.As(err, &inf) {
+		t.Fatalf("SolveSize below cmin: %v, want InfeasibleSizeError", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sv.SolveSize(ctx, seq.CMin()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled SolveSize: %v, want context.Canceled", err)
+	}
+	// The solver survives a canceled call: the same budget succeeds later.
+	if _, err := sv.SolveSize(context.Background(), seq.CMin()); err != nil {
+		t.Fatalf("solve after cancellation: %v", err)
+	}
+	if _, err := NewSolver(seq.WithRows(nil), Options{}, true, true); err == nil {
+		t.Fatal("NewSolver over empty relation succeeded")
+	}
+}
+
+// countdownCtx reports cancellation after a fixed number of Err polls — it
+// forces an abort in the middle of a matrix row, past the top-of-row check.
+type countdownCtx struct {
+	context.Context
+	polls *int
+	limit int
+}
+
+func (c countdownCtx) Err() error {
+	*c.polls++
+	if *c.polls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSolverRetryAfterMidRowCancel cancels a fill mid-row and verifies the
+// retained state still produces the exact result on retry (the E-row buffer
+// swap must be undone on abort).
+func TestSolverRetryAfterMidRowCancel(t *testing.T) {
+	seq, err := dataset.Uniform(1, 1500, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewSolver(seq, Options{}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := seq.Len() / 100
+	polls := 0
+	ctx := countdownCtx{Context: context.Background(), polls: &polls, limit: 2}
+	if _, err := sv.SolveSize(ctx, c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-row canceled SolveSize: %v, want context.Canceled", err)
+	}
+	if sv.Rows() >= c {
+		t.Fatalf("canceled fill completed %d rows, want < %d", sv.Rows(), c)
+	}
+	got, err := sv.SolveSize(context.Background(), c)
+	if err != nil {
+		t.Fatalf("retry after mid-row cancel: %v", err)
+	}
+	want, err := PTAc(seq, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.C != want.C || math.Abs(got.Error-want.Error) > 1e-6*(1+want.Error) {
+		t.Fatalf("retry result (C=%d, E=%g) differs from PTAc (C=%d, E=%g)",
+			got.C, got.Error, want.C, want.Error)
+	}
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/pta"
+)
+
+// matrixCache is a concurrency-safe LRU of warm pta.MatrixSets, keyed by
+// (series fingerprint, DP class, weights). Repeated budgets of a hot series
+// backtrack over the cached matrices instead of refilling them; a new budget
+// on a cached series only extends the matrices to the deeper row it needs.
+//
+// Entries are invalidated by displacement only: the key is a content hash,
+// so a series that changes upstream simply fingerprints to a new key and the
+// stale entry ages out of the LRU. There is no TTL — matrices are pure
+// functions of (series, class, weights) and can never go stale in place.
+type matrixCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	byKey    map[string]*list.Element // value: *cacheEntry
+
+	hits, misses, evictions atomic.Int64
+}
+
+// cacheEntry guards one MatrixSet. The set is built under the entry
+// semaphore by the request that missed, so concurrent requests for the same
+// key wait and then hit the warm matrices; the semaphore also serializes
+// Compress calls (a MatrixSet is not concurrency-safe). It is a channel,
+// not a mutex, so a waiting request still honors its own deadline instead
+// of blocking unboundedly behind another request's long fill.
+type cacheEntry struct {
+	key string
+
+	sem chan struct{} // capacity 1
+	set *pta.MatrixSet
+
+	// bytes and rows mirror the set's footprint after the latest use, so
+	// stats never have to take entry locks.
+	bytes atomic.Int64
+	rows  atomic.Int64
+}
+
+// newMatrixCache builds a cache holding at most capacity entries (≥ 1).
+func newMatrixCache(capacity int) *matrixCache {
+	return &matrixCache{
+		capacity: max(1, capacity),
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// cacheKey derives the full cache key of one evaluation. Weights are part of
+// the key because they change the error matrix cell values.
+func cacheKey(fingerprint, class string, weights []float64) string {
+	var sb strings.Builder
+	sb.WriteString(fingerprint)
+	sb.WriteByte('|')
+	sb.WriteString(class)
+	for _, w := range weights {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.FormatFloat(w, 'b', -1, 64))
+	}
+	return sb.String()
+}
+
+// acquire returns the entry for key, creating (and counting a miss) when
+// absent, touching the LRU order and counting a hit otherwise.
+func (c *matrixCache) acquire(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry), true
+	}
+	c.misses.Add(1)
+	e := &cacheEntry{key: key, sem: make(chan struct{}, 1)}
+	c.byKey[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	return e, false
+}
+
+// discard drops an entry whose MatrixSet failed to build, so a poisoned key
+// does not count later requests as hits.
+func (c *matrixCache) discard(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok && el.Value.(*cacheEntry) == e {
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+	}
+}
+
+// cacheStats is the /v1/stats snapshot of the cache.
+type cacheStats struct {
+	Capacity  int   `json:"capacity"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Rows      int64 `json:"rows"`
+	MemBytes  int64 `json:"mem_bytes"`
+}
+
+// stats snapshots the counters and the footprint of the resident entries.
+func (c *matrixCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := cacheStats{
+		Capacity:  c.capacity,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		st.Rows += e.rows.Load()
+		st.MemBytes += e.bytes.Load()
+	}
+	return st
+}
+
+// compress serves one budget through the cache: it builds the MatrixSet on
+// first use and answers every call under the entry semaphore, giving up
+// with the context error when the request's deadline expires while queued
+// behind another request's fill. A build failure discards the entry and
+// surfaces the error.
+func (e *cacheEntry) compress(ctx context.Context, c *matrixCache, build func() (*pta.MatrixSet, error), do func(*pta.MatrixSet) (*pta.Result, error)) (*pta.Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if e.set == nil {
+		set, err := build()
+		if err != nil {
+			c.discard(e)
+			return nil, err
+		}
+		e.set = set
+	}
+	res, err := do(e.set)
+	e.bytes.Store(e.set.MemBytes())
+	e.rows.Store(int64(e.set.Rows()))
+	return res, err
+}
+
+// String renders the counters for logs.
+func (c *matrixCache) String() string {
+	st := c.stats()
+	return fmt.Sprintf("cache{entries=%d/%d hits=%d misses=%d evictions=%d}",
+		st.Entries, st.Capacity, st.Hits, st.Misses, st.Evictions)
+}

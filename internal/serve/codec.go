@@ -1,0 +1,244 @@
+// Package serve is the HTTP/JSON serving layer over the public pta Engine:
+// cmd/ptaserve wires it to a listener. It adds what a network boundary
+// needs on top of the in-process API — a JSON codec for series and plans, a
+// shared LRU matrix cache so repeated budgets of a hot series skip the DP
+// fill entirely, per-request deadlines mapped onto the typed pta errors as
+// HTTP status codes, and a bounded in-flight pool.
+//
+// Endpoints:
+//
+//	POST /v1/compress       one series, one plan
+//	POST /v1/compress/many  one series, several plans (amortized)
+//	GET  /v1/strategies     the strategy registry (pta.Describe)
+//	GET  /v1/stats          cache and request counters
+//	GET  /healthz           liveness
+//
+// See docs/ARCHITECTURE.md for the cache design and its invalidation rules.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/temporal"
+	"repro/pta"
+)
+
+// attrWire is one grouping attribute of the wire schema.
+type attrWire struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "string", "int" or "float"
+}
+
+// rowWire is one series tuple on the wire. Group values align with the
+// series' group_attrs; start/end are the closed chronon interval.
+type rowWire struct {
+	Group []any     `json:"group,omitempty"`
+	Aggs  []float64 `json:"aggs"`
+	Start int64     `json:"start"`
+	End   int64     `json:"end"`
+}
+
+// seriesWire is the wire form of a pta.Series.
+type seriesWire struct {
+	GroupAttrs []attrWire `json:"group_attrs,omitempty"`
+	AggNames   []string   `json:"agg_names"`
+	Rows       []rowWire  `json:"rows"`
+}
+
+// planWire names one compression: a registry strategy, a budget in the
+// ParseBudget syntax ("c=12" or "eps=0.05"), and optional per-plan options.
+type planWire struct {
+	Strategy  string    `json:"strategy"`
+	Budget    string    `json:"budget"`
+	Weights   []float64 `json:"weights,omitempty"`
+	ReadAhead int       `json:"read_ahead,omitempty"`
+}
+
+// compressRequest is the body of POST /v1/compress.
+type compressRequest struct {
+	Series seriesWire `json:"series"`
+	Plan   planWire   `json:"plan"`
+	// TimeoutMS optionally tightens the server's per-request deadline; it
+	// can never extend it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// compressManyRequest is the body of POST /v1/compress/many.
+type compressManyRequest struct {
+	Series    seriesWire `json:"series"`
+	Plans     []planWire `json:"plans"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+}
+
+// statsWire mirrors pta.Stats.
+type statsWire struct {
+	Cells      int64 `json:"cells,omitempty"`
+	InnerIters int64 `json:"inner_iters,omitempty"`
+	Merges     int   `json:"merges,omitempty"`
+	MaxHeap    int   `json:"max_heap,omitempty"`
+	ReadAhead  int   `json:"read_ahead,omitempty"`
+}
+
+// resultWire is one compression outcome. Cache reports how the matrix cache
+// served the plan: "hit", "miss" (entry built by this request) or "bypass"
+// (strategy not matrix-cacheable).
+type resultWire struct {
+	Strategy string    `json:"strategy"`
+	Budget   string    `json:"budget"`
+	C        int       `json:"c"`
+	Error    float64   `json:"error"`
+	Cache    string    `json:"cache,omitempty"`
+	Stats    statsWire `json:"stats"`
+	Rows     []rowWire `json:"rows"`
+}
+
+// errorWire is the uniform error envelope: {"error": {...}}.
+type errorWire struct {
+	Status  int      `json:"status"`
+	Code    string   `json:"code"`
+	Message string   `json:"message"`
+	CMin    int      `json:"cmin,omitempty"`  // budget_infeasible: smallest reachable size
+	Known   []string `json:"known,omitempty"` // unknown_strategy: the registry
+}
+
+// decodeSeries validates and converts a wire series into the facade model:
+// group values are interned into a fresh dictionary, rows are sorted into
+// the canonical (group, time) order and the sequential-relation invariants
+// are checked.
+func decodeSeries(w seriesWire) (*pta.Series, error) {
+	if len(w.AggNames) == 0 {
+		return nil, fmt.Errorf("series: need at least one aggregate attribute name")
+	}
+	if len(w.Rows) == 0 {
+		return nil, fmt.Errorf("series: need at least one row")
+	}
+	attrs := make([]temporal.Attribute, len(w.GroupAttrs))
+	for i, a := range w.GroupAttrs {
+		kind, err := temporal.ParseKind(a.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("series: group attribute %q: %v", a.Name, err)
+		}
+		if a.Name == "" {
+			return nil, fmt.Errorf("series: group attribute %d has no name", i)
+		}
+		attrs[i] = temporal.Attribute{Name: a.Name, Kind: kind}
+	}
+	s := pta.NewSeries(attrs, w.AggNames)
+	p := len(w.AggNames)
+	vals := make([]temporal.Datum, len(attrs))
+	for i, r := range w.Rows {
+		if len(r.Group) != len(attrs) {
+			return nil, fmt.Errorf("series: row %d has %d group values, schema has %d attributes",
+				i, len(r.Group), len(attrs))
+		}
+		if len(r.Aggs) != p {
+			return nil, fmt.Errorf("series: row %d has %d aggregate values, want %d", i, len(r.Aggs), p)
+		}
+		for j, v := range r.Group {
+			d, err := decodeDatum(attrs[j].Kind, v)
+			if err != nil {
+				return nil, fmt.Errorf("series: row %d, attribute %q: %v", i, attrs[j].Name, err)
+			}
+			vals[j] = d
+		}
+		s.Rows = append(s.Rows, pta.Row{
+			Group: s.Groups.Intern(vals),
+			Aggs:  append([]float64(nil), r.Aggs...),
+			T:     pta.Interval{Start: pta.Chronon(r.Start), End: pta.Chronon(r.End)},
+		})
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("series: %v", err)
+	}
+	return s, nil
+}
+
+// decodeDatum converts one JSON group value to the attribute's domain.
+func decodeDatum(kind temporal.Kind, v any) (temporal.Datum, error) {
+	switch kind {
+	case temporal.KindString:
+		s, ok := v.(string)
+		if !ok {
+			return temporal.Datum{}, fmt.Errorf("want a string, have %T", v)
+		}
+		return temporal.String(s), nil
+	case temporal.KindInt:
+		f, ok := v.(float64)
+		if !ok || f != math.Trunc(f) {
+			return temporal.Datum{}, fmt.Errorf("want an integer, have %v (%T)", v, v)
+		}
+		return temporal.Int(int64(f)), nil
+	case temporal.KindFloat:
+		f, ok := v.(float64)
+		if !ok {
+			return temporal.Datum{}, fmt.Errorf("want a number, have %T", v)
+		}
+		return temporal.Float(f), nil
+	}
+	return temporal.Datum{}, fmt.Errorf("unsupported kind %v", kind)
+}
+
+// encodeDatum renders one group value for the wire, preserving the domain.
+func encodeDatum(d temporal.Datum) any {
+	switch d.Kind() {
+	case temporal.KindInt:
+		return d.IntVal()
+	case temporal.KindFloat:
+		return d.FloatVal()
+	default:
+		return d.Text()
+	}
+}
+
+// encodeResult packages a facade result with its cache disposition.
+func encodeResult(res *pta.Result, cache string) resultWire {
+	rows := make([]rowWire, len(res.Series.Rows))
+	for i, r := range res.Series.Rows {
+		vals := res.Series.Groups.Values(r.Group)
+		var group []any
+		if len(vals) > 0 {
+			group = make([]any, len(vals))
+			for j, v := range vals {
+				group[j] = encodeDatum(v)
+			}
+		}
+		rows[i] = rowWire{
+			Group: group,
+			Aggs:  r.Aggs,
+			Start: int64(r.T.Start),
+			End:   int64(r.T.End),
+		}
+	}
+	return resultWire{
+		Strategy: res.Strategy,
+		Budget:   res.Budget.String(),
+		C:        res.C,
+		Error:    res.Error,
+		Cache:    cache,
+		Stats: statsWire{
+			Cells:      res.Stats.Cells,
+			InnerIters: res.Stats.InnerIters,
+			Merges:     res.Stats.Merges,
+			MaxHeap:    res.Stats.MaxHeap,
+			ReadAhead:  res.Stats.ReadAhead,
+		},
+		Rows: rows,
+	}
+}
+
+// decodeJSON strictly decodes one JSON value from the request body,
+// rejecting trailing garbage.
+func decodeJSON(r io.Reader, into any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("body: %v", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("body: trailing data after the JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/pta"
+)
+
+// Cache dispositions reported per result.
+const (
+	cacheHit    = "hit"
+	cacheMiss   = "miss"
+	cacheBypass = "bypass"
+)
+
+// statusClientClosedRequest is the de-facto status for a client that went
+// away mid-evaluation (nginx's 499); nothing reads the response, but logs
+// and stats distinguish it from a server-side deadline.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.nHealth.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	s.nStrategies.Add(1)
+	infos := pta.Describe()
+	out := make([]map[string]any, len(infos))
+	for i, info := range infos {
+		class, cacheable := pta.DPClass(info.Name)
+		entry := map[string]any{
+			"name":        info.Name,
+			"description": info.Description,
+			"size":        info.Size,
+			"error":       info.Error,
+			"streaming":   info.Streaming,
+		}
+		if cacheable {
+			entry["matrix_cache_class"] = class
+		}
+		out[i] = entry
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"strategies": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.nStats.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"requests": map[string]int64{
+			"compress":      s.nCompress.Load(),
+			"compress_many": s.nCompressMany.Load(),
+			"strategies":    s.nStrategies.Load(),
+			"stats":         s.nStats.Load(),
+			"healthz":       s.nHealth.Load(),
+		},
+		"compressions": s.compressions.Load(),
+		"inflight":     len(s.inflight),
+		"cache":        s.cache.stats(),
+	})
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	s.nCompress.Add(1)
+	var req compressRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, r, badRequest(err))
+		return
+	}
+	plan, err := resolvePlan(req.Plan)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if !s.acquireSlot(ctx) {
+		s.writeError(w, r, ctx.Err())
+		return
+	}
+	defer s.releaseSlot()
+
+	series, err := decodeSeries(req.Series)
+	if err != nil {
+		s.writeError(w, r, badRequest(err))
+		return
+	}
+	res, disposition, err := s.compressOne(ctx, series, "", req.Plan, plan)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResult(res, disposition))
+}
+
+func (s *Server) handleCompressMany(w http.ResponseWriter, r *http.Request) {
+	s.nCompressMany.Add(1)
+	var req compressManyRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, r, badRequest(err))
+		return
+	}
+	if len(req.Plans) == 0 {
+		s.writeError(w, r, badRequest(errors.New("need at least one plan")))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if !s.acquireSlot(ctx) {
+		s.writeError(w, r, ctx.Err())
+		return
+	}
+	defer s.releaseSlot()
+
+	series, err := decodeSeries(req.Series)
+	if err != nil {
+		s.writeError(w, r, badRequest(err))
+		return
+	}
+
+	// The series fingerprints once; each plan resolves its own cache key
+	// (strategies of one DP class share an entry, so a c= and an eps= plan
+	// of the same request amortize through the same warm matrices — the
+	// cross-request generalization of Engine.CompressMany). Non-cacheable
+	// plans fall through to one Engine.CompressMany call, which amortizes
+	// whatever the engine can.
+	fingerprint := pta.Fingerprint(series)
+	results := make([]resultWire, len(req.Plans))
+	var enginePlans []pta.Plan
+	var engineIdx []int
+	for i, pw := range req.Plans {
+		plan, err := resolvePlan(pw)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		if _, cacheable := s.cacheKeyFor(fingerprint, pw); !cacheable {
+			enginePlans = append(enginePlans, plan)
+			engineIdx = append(engineIdx, i)
+			continue
+		}
+		res, disposition, err := s.compressOne(ctx, series, fingerprint, pw, plan)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		results[i] = encodeResult(res, disposition)
+	}
+	if len(enginePlans) > 0 {
+		engineResults, err := s.engine.CompressMany(ctx, series, enginePlans)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		s.compressions.Add(int64(len(engineResults)))
+		for j, res := range engineResults {
+			results[engineIdx[j]] = encodeResult(res, cacheBypass)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// effectiveWeights mirrors the engine's planOptions semantics: a plan
+// without weights inherits the engine-level defaults, so cached and engine
+// evaluations always use the same vector.
+func (s *Server) effectiveWeights(pw planWire) []float64 {
+	if pw.Weights != nil {
+		return pw.Weights
+	}
+	return s.defaultWeights
+}
+
+// cacheKeyFor reports the matrix-cache key of one plan, and whether the plan
+// is cacheable at all: the strategy must be an exact DP and the plan must
+// not carry options the DP ignores anyway except weights (which are part of
+// the key, engine defaults included).
+func (s *Server) cacheKeyFor(fingerprint string, pw planWire) (string, bool) {
+	if fingerprint == "" {
+		return "", false
+	}
+	class, ok := pta.DPClass(pw.Strategy)
+	if !ok || pw.ReadAhead != 0 {
+		return "", false
+	}
+	return cacheKey(fingerprint, class, s.effectiveWeights(pw)), true
+}
+
+// resolvePlan validates one wire plan into an engine plan.
+func resolvePlan(pw planWire) (pta.Plan, error) {
+	if pw.Strategy == "" {
+		return pta.Plan{}, badRequest(errors.New("plan: missing strategy"))
+	}
+	b, err := pta.ParseBudget(pw.Budget)
+	if err != nil {
+		return pta.Plan{}, badRequest(err)
+	}
+	plan := pta.Plan{Strategy: pw.Strategy, Budget: b}
+	if pw.Weights != nil || pw.ReadAhead != 0 {
+		plan.Options = &pta.Options{Weights: pw.Weights, ReadAhead: pw.ReadAhead}
+	}
+	return plan, nil
+}
+
+// compressOne evaluates one resolved plan over the series, through the
+// matrix cache when the plan is cacheable and through the engine otherwise.
+// fingerprint may be passed in to amortize hashing across plans; ""
+// computes it here.
+func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprint string, pw planWire, plan pta.Plan) (*pta.Result, string, error) {
+	s.compressions.Add(1)
+
+	if fingerprint == "" {
+		if _, ok := pta.DPClass(pw.Strategy); ok && pw.ReadAhead == 0 {
+			fingerprint = pta.Fingerprint(series)
+		}
+	}
+	key, cacheable := s.cacheKeyFor(fingerprint, pw)
+	if cacheable {
+		// The cache path answers through MatrixSet, which never consults
+		// Supports; keep the engine's (strategy, budget kind) contract by
+		// routing unsupported kinds to the engine's typed error.
+		if ev, ok := pta.Lookup(pw.Strategy); !ok || !ev.Supports(plan.Budget.Kind()) {
+			cacheable = false
+		}
+	}
+	if !cacheable {
+		res, err := s.engine.Compress(ctx, series, plan)
+		return res, cacheBypass, err
+	}
+
+	entry, hit := s.cache.acquire(key)
+	disposition := cacheMiss
+	if hit {
+		disposition = cacheHit
+	}
+	res, err := entry.compress(ctx, s.cache,
+		func() (*pta.MatrixSet, error) {
+			return pta.NewMatrixSet(series, pw.Strategy, pta.Options{Weights: s.effectiveWeights(pw)})
+		},
+		func(set *pta.MatrixSet) (*pta.Result, error) {
+			return set.Compress(ctx, plan.Budget)
+		})
+	if err != nil {
+		return nil, disposition, err
+	}
+	// Stamp the requested strategy: a ptac entry may serve a ptae plan of
+	// the same class.
+	res.Strategy = pw.Strategy
+	return res, disposition, nil
+}
+
+// badRequestError marks client-side validation failures for statusFor.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return badRequestError{err: err} }
+
+// statusFor maps an error onto (HTTP status, machine-readable code).
+func statusFor(err error) (int, string) {
+	var br badRequestError
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, pta.ErrUnknownStrategy):
+		return http.StatusBadRequest, "unknown_strategy"
+	case errors.Is(err, pta.ErrBudgetKind):
+		return http.StatusBadRequest, "unsupported_budget_kind"
+	case errors.Is(err, pta.ErrSeriesShape):
+		return http.StatusBadRequest, "series_shape"
+	case errors.Is(err, pta.ErrNotStreaming):
+		return http.StatusBadRequest, "not_streaming"
+	case errors.Is(err, pta.ErrBudgetInfeasible):
+		return http.StatusUnprocessableEntity, "budget_infeasible"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, pta.ErrCanceled), errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "client_closed_request"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError renders the uniform error envelope with the typed carriers'
+// details attached.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := statusFor(err)
+	body := errorWire{Status: status, Code: code, Message: err.Error()}
+	var inf *pta.InfeasibleBudgetError
+	if errors.As(err, &inf) {
+		body.CMin = inf.CMin
+	}
+	var unk *pta.UnknownStrategyError
+	if errors.As(err, &unk) {
+		body.Known = unk.Known
+	}
+	if status >= 500 || status == statusClientClosedRequest {
+		s.log.Printf("serve: %s %s: %d %s: %v", r.Method, r.URL.Path, status, code, err)
+	}
+	writeJSON(w, status, map[string]any{"error": body})
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // the status line is out; encoding errors only affect the body
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/pta"
+)
+
+// Config parameterizes a Server. The zero value is usable: a serial private
+// engine, 64 cache entries, a 30-second deadline, 8 MiB bodies and
+// 2×GOMAXPROCS in-flight compressions.
+type Config struct {
+	// Engine is the compression session behind every request. nil builds a
+	// private serial engine; cmd/ptaserve passes one configured with
+	// WithParallelism and a shared scratch pool.
+	Engine *pta.Engine
+	// CacheEntries bounds the LRU matrix cache (0 = 64 entries).
+	CacheEntries int
+	// Timeout is the per-request deadline; requests may tighten it with
+	// timeout_ms but never extend it (0 = 30s).
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MaxInflight bounds concurrently evaluated compressions; excess
+	// requests wait for a slot until their deadline (0 = 2×GOMAXPROCS).
+	MaxInflight int
+	// Logger receives one line per failed request (nil = standard logger).
+	Logger *log.Logger
+}
+
+// Server is the HTTP serving layer: a handler tree over one pta.Engine and
+// one shared matrix cache. Create it with New, mount Handler, or run
+// ListenAndServe for the full listener + graceful-shutdown lifecycle.
+type Server struct {
+	cfg            Config
+	engine         *pta.Engine
+	defaultWeights []float64 // the engine's WithWeights vector, folded into cache keys
+	cache          *matrixCache
+	mux            *http.ServeMux
+	log            *log.Logger
+
+	started  time.Time
+	inflight chan struct{}
+
+	// request counters by endpoint, surfaced on /v1/stats
+	nCompress, nCompressMany, nStrategies, nStats, nHealth atomic.Int64
+	compressions                                           atomic.Int64
+}
+
+// New validates the config and builds a ready-to-mount server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		eng, err := pta.New()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Engine = eng
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 64
+	}
+	if cfg.CacheEntries < 0 {
+		return nil, fmt.Errorf("serve: CacheEntries %d, want > 0", cfg.CacheEntries)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Timeout < 0 {
+		return nil, fmt.Errorf("serve: Timeout %v, want > 0", cfg.Timeout)
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("serve: MaxInflight %d, want > 0", cfg.MaxInflight)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	s := &Server{
+		cfg:            cfg,
+		engine:         cfg.Engine,
+		defaultWeights: cfg.Engine.Weights(),
+		cache:          newMatrixCache(cfg.CacheEntries),
+		log:            cfg.Logger,
+		started:        time.Now(),
+		inflight:       make(chan struct{}, cfg.MaxInflight),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
+	s.mux.HandleFunc("POST /v1/compress/many", s.handleCompressMany)
+	return s, nil
+}
+
+// Handler returns the route tree, for mounting under an outer mux or an
+// httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until ctx is canceled, then drains
+// in-flight requests gracefully. It returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (tests and examples
+// bind ":0" themselves to learn the port). Canceling ctx triggers a
+// graceful shutdown: the listener closes but in-flight evaluations keep
+// their own request contexts and get up to 10 seconds to drain — ctx is
+// deliberately NOT the BaseContext, which would abort them instead.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// acquireSlot takes one in-flight token, waiting until the request deadline
+// at most. It reports whether the slot was acquired.
+func (s *Server) acquireSlot(ctx context.Context) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.inflight }
+
+// requestContext applies the per-request deadline: the server timeout,
+// tightened (never extended) by the request's timeout_ms.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}

@@ -170,6 +170,14 @@ func (e *Engine) planOptions(p Plan) Options {
 // evaluation (0 = all cores is passed through to the core pool).
 func (e *Engine) workers() int { return e.parallelism }
 
+// Weights returns a copy of the engine-level default weights (nil when
+// unweighted) — the vector every evaluation applies when its plan carries
+// none. Serving layers fold it into cache keys and cache builds so cached
+// and engine evaluations agree.
+func (e *Engine) Weights() []float64 {
+	return append([]float64(nil), e.opts.Weights...)
+}
+
 // resolve validates the budget and looks the strategy up, returning the
 // typed facade errors.
 func (e *Engine) resolve(strategy string, b Budget) (Evaluator, error) {
@@ -189,17 +197,25 @@ func (e *Engine) resolve(strategy string, b Budget) (Evaluator, error) {
 // finish maps evaluator errors onto the typed facade errors and stamps the
 // result with its provenance.
 func (e *Engine) finish(p Plan, res *Result, err error) (*Result, error) {
+	return finishResult(p.Strategy, p.Budget, res, err)
+}
+
+// finishResult is the shared error-mapping/stamping step behind every facade
+// evaluation (Engine methods and MatrixSet.Compress): core errors become the
+// typed errors.Is-able facade errors, successful results are stamped with
+// their provenance.
+func finishResult(strategy string, b Budget, res *Result, err error) (*Result, error) {
 	if err != nil {
 		var inf *core.InfeasibleSizeError
 		if errors.As(err, &inf) {
-			return nil, &InfeasibleBudgetError{Strategy: p.Strategy, Budget: p.Budget, CMin: inf.CMin}
+			return nil, &InfeasibleBudgetError{Strategy: strategy, Budget: b, CMin: inf.CMin}
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, &CanceledError{Strategy: p.Strategy, Cause: err}
+			return nil, &CanceledError{Strategy: strategy, Cause: err}
 		}
-		return nil, fmt.Errorf("pta: %s: %w", p.Strategy, err)
+		return nil, fmt.Errorf("pta: %s: %w", strategy, err)
 	}
-	res.Strategy, res.Budget = p.Strategy, p.Budget
+	res.Strategy, res.Budget = strategy, b
 	return res, nil
 }
 

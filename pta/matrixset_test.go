@@ -1,0 +1,187 @@
+package pta_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/pta"
+)
+
+// TestMatrixSetMatchesEngine: answers from a warm matrix set are identical
+// to fresh Engine evaluations across both budget kinds, and repeats cost no
+// new matrix cells.
+func TestMatrixSetMatchesEngine(t *testing.T) {
+	seq := grouped(t)
+	eng, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := pta.NewMatrixSet(seq, "ptac", pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	budgets := []pta.Budget{
+		pta.Size(seq.CMin()),
+		pta.Size(seq.Len() / 4),
+		pta.Size(seq.Len() / 2),
+		pta.ErrorBound(0.05),
+		pta.ErrorBound(0.2),
+	}
+	for _, b := range budgets {
+		strategy := "ptac"
+		if b.Kind() == pta.BudgetError {
+			strategy = "ptae"
+		}
+		want, err := eng.Compress(ctx, seq, pta.Plan{Strategy: strategy, Budget: b})
+		if err != nil {
+			t.Fatalf("engine %v: %v", b, err)
+		}
+		got, err := set.Compress(ctx, b)
+		if err != nil {
+			t.Fatalf("matrix set %v: %v", b, err)
+		}
+		if got.C != want.C || math.Abs(got.Error-want.Error) > 1e-6*(1+want.Error) {
+			t.Errorf("%v: set (C=%d, E=%g), engine (C=%d, E=%g)",
+				b, got.C, got.Error, want.C, want.Error)
+		}
+		if !got.Series.Equal(want.Series, 1e-9) {
+			t.Errorf("%v: rows differ between set and engine", b)
+		}
+		if got.Strategy != "ptac" || got.Budget != b {
+			t.Errorf("%v: provenance (%q, %v) not stamped", b, got.Strategy, got.Budget)
+		}
+	}
+	// Warm repeats: no new cells.
+	warmCells := func() int64 {
+		res, err := set.Compress(ctx, budgets[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cells
+	}
+	first := warmCells()
+	if second := warmCells(); second != first {
+		t.Errorf("repeated budget filled %d new cells, want 0", second-first)
+	}
+	if set.Rows() == 0 || set.N() != seq.Len() || set.MemBytes() <= 0 {
+		t.Errorf("set introspection: Rows=%d N=%d Mem=%d", set.Rows(), set.N(), set.MemBytes())
+	}
+}
+
+// TestMatrixSetTypedErrors: the set maps failures onto the same typed facade
+// errors as the Engine.
+func TestMatrixSetTypedErrors(t *testing.T) {
+	seq := grouped(t)
+	set, err := pta.NewMatrixSet(seq, "ptac", pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var inf *pta.InfeasibleBudgetError
+	_, err = set.Compress(ctx, pta.Size(seq.CMin()-1))
+	if !errors.Is(err, pta.ErrBudgetInfeasible) || !errors.As(err, &inf) {
+		t.Errorf("infeasible size: %v", err)
+	} else if inf.CMin != seq.CMin() {
+		t.Errorf("InfeasibleBudgetError.CMin = %d, want %d", inf.CMin, seq.CMin())
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := set.Compress(canceled, pta.Size(seq.CMin())); !errors.Is(err, pta.ErrCanceled) {
+		t.Errorf("canceled compress: %v", err)
+	}
+	// The set survives the aborted call.
+	if _, err := set.Compress(ctx, pta.Size(seq.CMin())); err != nil {
+		t.Errorf("compress after cancellation: %v", err)
+	}
+
+	if _, err := set.Compress(ctx, pta.Budget{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+
+	if _, err := pta.NewMatrixSet(seq, "nope", pta.Options{}); !errors.Is(err, pta.ErrUnknownStrategy) {
+		t.Errorf("unknown strategy: %v", err)
+	}
+	if _, err := pta.NewMatrixSet(seq, "gms", pta.Options{}); err == nil {
+		t.Error("NewMatrixSet accepted a non-DP strategy")
+	}
+	if _, err := pta.NewMatrixSet(seq.WithRows(nil), "ptac", pta.Options{}); err == nil {
+		t.Error("NewMatrixSet accepted an empty series")
+	}
+}
+
+// TestDPClass pins the cache-class mapping: ptac and ptae share a class,
+// ablations get their own, non-DP strategies are not cacheable.
+func TestDPClass(t *testing.T) {
+	cases := []struct {
+		strategy, class string
+		ok              bool
+	}{
+		{"ptac", "dp+imax+jmin", true},
+		{"ptae", "dp+imax+jmin", true},
+		{"dpbasic", "dp", true},
+		{"ptac-imax", "dp+imax", true},
+		{"ptac-jmin", "dp+jmin", true},
+		{"ptac-parallel", "", false},
+		{"gms", "", false},
+		{"gptac", "", false},
+		{"paa", "", false},
+		{"amnesic", "", false},
+		{"nope", "", false},
+	}
+	for _, tc := range cases {
+		class, ok := pta.DPClass(tc.strategy)
+		if class != tc.class || ok != tc.ok {
+			t.Errorf("DPClass(%q) = (%q, %v), want (%q, %v)",
+				tc.strategy, class, ok, tc.class, tc.ok)
+		}
+	}
+}
+
+// TestFingerprint: identical content fingerprints identically regardless of
+// dictionary id assignment; any content change moves the fingerprint.
+func TestFingerprint(t *testing.T) {
+	seq := projITA(t)
+	fp := pta.Fingerprint(seq)
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex", fp)
+	}
+	if got := pta.Fingerprint(seq.Clone()); got != fp {
+		t.Error("clone fingerprints differently")
+	}
+
+	// Same rows interned into a fresh dictionary (different id order).
+	rebuilt := pta.NewSeries(seq.GroupAttrs, seq.AggNames)
+	for i := len(seq.Rows) - 1; i >= 0; i-- {
+		r := seq.Rows[i]
+		rebuilt.Rows = append(rebuilt.Rows, pta.Row{
+			Group: rebuilt.Groups.Intern(seq.Groups.Values(r.Group)),
+			Aggs:  append([]float64(nil), r.Aggs...),
+			T:     r.T,
+		})
+	}
+	rebuilt.Sort()
+	if got := pta.Fingerprint(rebuilt); got != fp {
+		t.Error("re-interned series fingerprints differently")
+	}
+
+	mutate := seq.Clone()
+	mutate.Rows[0].Aggs[0] += 1
+	if pta.Fingerprint(mutate) == fp {
+		t.Error("aggregate change kept the fingerprint")
+	}
+	shifted := seq.Clone()
+	shifted.Rows[0].T.End++
+	if pta.Fingerprint(shifted) == fp {
+		t.Error("interval change kept the fingerprint")
+	}
+	renamed := seq.Clone()
+	renamed.AggNames = []string{"Other"}
+	if pta.Fingerprint(renamed) == fp {
+		t.Error("schema change kept the fingerprint")
+	}
+}

@@ -15,8 +15,14 @@
 //     weights, parallelism, estimators and reusable scratch buffers once,
 //     then Compress/CompressMany/CompressStream evaluate any number of
 //     plans under a context, concurrently safe.
+//   - Fingerprint, MatrixSet and DPClass are the matrix-cache hooks: a
+//     serving layer keys warm DP matrices by (series content, strategy
+//     class, weights) and answers repeated budgets of a hot series without
+//     refilling them. internal/serve and cmd/ptaserve build the HTTP
+//     serving layer on exactly these three.
 //
-// A minimal end-to-end use:
+// A minimal end-to-end use (see the Example functions for runnable
+// versions of every entry point):
 //
 //	seq, _ := ita.Eval(rel, query)                      // ITA result
 //	eng, _ := pta.New(pta.WithParallelism(4))
@@ -27,8 +33,10 @@
 // initialized serial default engine, so one-shot callers stay one line.
 //
 // New backends register themselves with Register and become available to
-// every consumer — the CLI, the benchmark harness and the experiment suite
-// all enumerate the registry instead of hard-wiring call sites.
+// every consumer — the CLI, the HTTP server, the benchmark harness and the
+// experiment suite all enumerate the registry instead of hard-wiring call
+// sites, and FormatStrategies renders the one canonical description table
+// they all share.
 package pta
 
 import (

@@ -3,6 +3,7 @@ package pta
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -96,6 +97,32 @@ type StrategyInfo struct {
 	Size, Error bool
 	// Streaming reports StreamEvaluator capability.
 	Streaming bool
+}
+
+// FormatStrategies renders the registry as the canonical aligned text table.
+// It is the single human-readable description source: ptacli
+// -list-strategies prints it, and GET /v1/strategies serves the same
+// Describe records as JSON, so the CLI, the server and the docs cannot
+// drift apart.
+func FormatStrategies(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-14s %-5s %-5s %-7s %s\n",
+		"strategy", "c", "eps", "stream", "description"); err != nil {
+		return err
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, info := range Describe() {
+		if _, err := fmt.Fprintf(w, "%-14s %-5s %-5s %-7s %s\n",
+			info.Name, mark(info.Size), mark(info.Error), mark(info.Streaming),
+			info.Description); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Describe returns the registry as sorted StrategyInfo records.
