@@ -94,7 +94,7 @@ func TestPipelineExactBeatsGreedy(t *testing.T) {
 		}
 	}
 
-	px, err := core.NewPrefix(seq, core.Options{})
+	px, err := core.NewKernel(seq, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ func BenchmarkPrefixBuild(b *testing.B) {
 	seq := benchSequence(10000, 4, 0.1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewPrefix(seq, Options{}); err != nil {
+		if _, err := NewKernel(seq, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -24,28 +24,28 @@ func BenchmarkPrefixBuild(b *testing.B) {
 
 func BenchmarkSSERange1D(b *testing.B) {
 	seq := benchSequence(10000, 1, 0)
-	px, err := NewPrefix(seq, Options{})
+	px, err := NewKernel(seq, Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sink += px.SSERange(1+(i%5000), 5001+(i%5000))
+		sink += px.MergeErr(1+(i%5000), 5001+(i%5000))
 	}
 	_ = sink
 }
 
 func BenchmarkSSERange8D(b *testing.B) {
 	seq := benchSequence(10000, 8, 0)
-	px, err := NewPrefix(seq, Options{})
+	px, err := NewKernel(seq, Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sink += px.SSERange(1+(i%5000), 5001+(i%5000))
+		sink += px.MergeErr(1+(i%5000), 5001+(i%5000))
 	}
 	_ = sink
 }

@@ -142,7 +142,7 @@ func TestRandomSampleEstimate(t *testing.T) {
 		seq.Rows = append(seq.Rows, temporal.SeqRow{
 			Group: gid, Aggs: []float64{v}, T: temporal.Inst(temporal.Chronon(i))})
 	}
-	px, err := NewPrefix(seq, Options{})
+	px, err := NewKernel(seq, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestRandomSampleEstimateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("full-fraction sample: %v", err)
 	}
-	px, _ := NewPrefix(seq, Options{})
+	px, _ := NewKernel(seq, Options{})
 	if math.Abs(est.EMax-px.MaxError()) > 1e-9*(1+px.MaxError()) {
 		t.Errorf("full sample estimate %v should equal SSEmax %v", est.EMax, px.MaxError())
 	}

@@ -39,13 +39,18 @@ type Options struct {
 	// Weights holds one positive weight per aggregate attribute (w_d of
 	// Definition 5). nil means all weights are 1.
 	Weights []float64
+	// Fill selects the DP row-fill algorithm (see FillAlgo). The zero
+	// value FillAuto picks by input size. Every algorithm produces
+	// bitwise-identical E/J matrices; they differ only in speed.
+	Fill FillAlgo
 	// Ctx, when non-nil, is polled inside the evaluation loops so that
 	// long-running reductions abort promptly when the caller cancels.
 	// Evaluators return the context error (wrapped) on cancellation.
 	Ctx context.Context
 	// Scratch, when non-nil, provides reusable DP buffers, amortizing the
-	// per-call allocations of the error and split-point matrix rows. A
-	// Scratch serves one evaluation at a time.
+	// per-call allocations of the error and split-point matrix rows and of
+	// the cost-kernel prefix slabs. A Scratch serves one evaluation at a
+	// time.
 	Scratch *Scratch
 }
 

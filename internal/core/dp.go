@@ -8,11 +8,12 @@ import (
 
 // DPStats counts the work the dynamic program performed; the experiments use
 // it alongside wall-clock time to show the effect of the Section 5.3
-// pruning.
+// pruning and of the row-fill algorithm.
 type DPStats struct {
 	// Cells is the number of matrix cells (k, i) evaluated.
 	Cells int64
-	// InnerIters is the number of split points j tried across all cells.
+	// InnerIters is the number of split-point candidates evaluated across
+	// all cells (for the monotone fills: candidate-matrix evaluations).
 	InnerIters int64
 }
 
@@ -35,50 +36,78 @@ type DPResult struct {
 // The two Section 5.3 bounds can be toggled independently (the ablation
 // experiment exercises each in isolation): pruneI skips columns beyond the
 // k-th gap (imax), pruneJ lower-bounds the split point at the rightmost gap
-// (jmin).
+// (jmin). The row-fill algorithm (Options.Fill) is orthogonal: every
+// algorithm produces bitwise-identical E and J rows; see fill.go.
 type dpState struct {
-	px             *Prefix
+	kn             *CostKernel
 	opts           Options
 	n              int
 	pruneI, pruneJ bool
+	algo           FillAlgo // resolved, never FillAuto
 	storeSplits    bool
 	ownSplits      bool // allocate split rows privately even with a Scratch
 	prevE, curE    []float64
 	splits         [][]int32 // splits[k-1][i] = J[k][i]
 	stats          DPStats
+
+	rerr      func(i, j int) float64 // kernel merge-cost hot path
+	rightGap  []int32                // monotone fills: rightmostGapBefore per position
+	smawkArg  []int32                // FillSMAWK: per-cell argmins of the current row
+	smawkBuf  []int32                // FillSMAWK: column-list arena (see smawkCarve)
+	smawkOff  int
+	fillSteps int64 // candidate evaluations since the last context poll
 }
 
-// cancelCheckCells is how many DP cells are evaluated between context polls:
-// coarse enough to keep the poll off the hot path, fine enough that a long
-// run aborts within a handful of inner loops.
+// cancelCheckCells is how many DP candidate evaluations happen between
+// context polls: coarse enough to keep the poll off the hot path, fine
+// enough that a long run aborts within a handful of inner loops.
 const cancelCheckCells = 4096
 
-func newDPState(px *Prefix, opts Options, pruned, storeSplits bool) *dpState {
+func newDPState(kn *CostKernel, opts Options, pruneI, pruneJ, storeSplits bool) *dpState {
+	algo := opts.Fill
+	if algo == FillAuto && !(pruneI && pruneJ) {
+		// The ablation modes (dpbasic, ptac-imax, ptac-jmin) exist to
+		// measure the scan's Section 5.3 bounds in isolation; auto never
+		// swaps their fill out from under them. An explicitly pinned
+		// monotone fill is still honored — results are identical, only the
+		// work counters change meaning.
+		algo = FillPruned
+	}
+	algo = algo.resolve(kn.N())
+	if algo != FillPruned && !kn.MonotoneRuns() {
+		// The monotone fills are only exact when the kernel certifies the
+		// quadrangle inequality (per-run monotone values); on oscillating
+		// data split points are not monotone and the scan must run.
+		algo = FillPruned
+	}
 	st := &dpState{
-		px:          px,
+		kn:          kn,
 		opts:        opts,
-		n:           px.N(),
-		pruneI:      pruned,
-		pruneJ:      pruned,
+		n:           kn.N(),
+		pruneI:      pruneI,
+		pruneJ:      pruneJ,
+		algo:        algo,
 		storeSplits: storeSplits,
+		rerr:        kn.rangeErr(),
 	}
 	if sc := opts.Scratch; sc != nil {
-		st.prevE, st.curE = sc.eBuffers(px.N())
+		st.prevE, st.curE = sc.eBuffers(kn.N())
 	} else {
-		st.prevE = make([]float64, px.N()+1)
-		st.curE = make([]float64, px.N()+1)
+		st.prevE = make([]float64, kn.N()+1)
+		st.curE = make([]float64, kn.N()+1)
 	}
 	return st
 }
 
 // fillRow computes row k of the matrices and returns E[k][n]. It polls the
-// context every cancelCheckCells cells so canceled evaluations abort
-// mid-matrix instead of running to completion.
+// context while filling so canceled evaluations abort mid-matrix instead of
+// running to completion; on cancellation the row swap is undone, so a
+// retained state (core.Solver) can retry the row after the abort.
 func (st *dpState) fillRow(k int) (float64, error) {
 	if err := st.opts.canceled(); err != nil {
 		return 0, err
 	}
-	px, n := st.px, st.n
+	kn, n := st.kn, st.n
 	st.prevE, st.curE = st.curE, st.prevE
 	for i := range st.curE {
 		st.curE[i] = Inf
@@ -92,51 +121,64 @@ func (st *dpState) fillRow(k int) (float64, error) {
 		}
 	}
 
-	// The inner loop dominates the DP; specialize the one-dimensional case
-	// (most of the paper's queries) to direct slice arithmetic.
-	p1 := px.p == 1
-	var s0, ss0 []float64
-	var w20 float64
-	if p1 {
-		s0, ss0, w20 = px.s[0], px.ss[0], px.w2[0]
-	}
-	lpx := px.l
-	sseRange := func(a, b int) float64 {
-		if a == b {
-			return 0
-		}
-		if p1 {
-			length := float64(lpx[b] - lpx[a-1])
-			sv := s0[b] - s0[a-1]
-			e := w20 * (ss0[b] - ss0[a-1] - sv*sv/length)
-			if e < 0 {
-				return 0
-			}
-			return e
-		}
-		return px.SSERange(a, b)
-	}
-
 	// Upper bound for i: past the k-th gap every E[k][i] is infinite.
 	imax := n
-	if st.pruneI && k <= len(px.gaps) {
-		imax = px.gaps[k-1]
+	if st.pruneI && k <= len(kn.gaps) {
+		imax = kn.gaps[k-1]
 	}
 
+	var err error
+	switch {
+	case k == 1:
+		err = st.fillFirstRow(imax)
+	case st.algo == FillDC:
+		err = st.fillRowDC(k, imax, jrow)
+	case st.algo == FillSMAWK:
+		err = st.fillRowSMAWK(k, imax, jrow)
+	default:
+		err = st.fillRowScan(k, imax, jrow)
+	}
+	if err != nil {
+		// Undo the row swap so curE is E[k−1] again: a retained state
+		// (core.Solver) may retry this row after the abort.
+		st.prevE, st.curE = st.curE, st.prevE
+		return 0, err
+	}
+
+	if st.storeSplits {
+		st.splits = append(st.splits, jrow)
+	}
+	return st.curE[n], nil
+}
+
+// fillFirstRow fills E[1][i] = the cost of merging the whole prefix into
+// one tuple (infinite across gaps); J[1] stays all zero.
+func (st *dpState) fillFirstRow(imax int) error {
+	kn := st.kn
+	for i := 1; i <= imax; i++ {
+		st.stats.Cells++
+		if st.stats.Cells%cancelCheckCells == 0 {
+			if err := st.opts.canceled(); err != nil {
+				return err
+			}
+		}
+		st.curE[i] = kn.MergeErrAll(1, i)
+	}
+	return nil
+}
+
+// fillRowScan fills row k ≥ 2 with the FillPruned candidate scan: for every
+// cell, split points are tried right to left with the Jagadish-style early
+// exit once the merge cost alone exceeds the best total.
+func (st *dpState) fillRowScan(k, imax int, jrow []int32) error {
+	kn := st.kn
+	rerr := st.rerr
 	for i := k; i <= imax; i++ {
 		st.stats.Cells++
 		if st.stats.Cells%cancelCheckCells == 0 {
 			if err := st.opts.canceled(); err != nil {
-				// Undo the row swap so curE is E[k−1] again: a retained
-				// state (core.Solver) may retry this row after the abort.
-				st.prevE, st.curE = st.curE, st.prevE
-				return 0, err
+				return err
 			}
-		}
-		if k == 1 {
-			// First row: merge the whole prefix (infinite across gaps).
-			st.curE[i] = px.SSEMergeAll(1, i)
-			continue
 		}
 
 		// Lower bound for j: merging the tail s_{j+1}..s_i across the
@@ -144,15 +186,15 @@ func (st *dpState) fillRow(k int) (float64, error) {
 		jmin := k - 1
 		var rightGap int
 		if st.pruneJ {
-			rightGap = px.RightmostGapBefore(i)
+			rightGap = kn.RightmostGapBefore(i)
 			jmin = max(jmin, rightGap)
 		}
 
-		if st.pruneJ && k-2 < len(px.gaps) && k >= 2 && rightGap != 0 && px.gaps[k-2] == jmin {
+		if st.pruneJ && k-2 < len(kn.gaps) && rightGap != 0 && kn.gaps[k-2] == jmin {
 			// The prefix s_i contains exactly k−1 gaps: the only feasible
 			// split point is the rightmost gap itself (Section 5.3).
 			st.stats.InnerIters++
-			st.curE[i] = st.prevE[jmin] + sseRange(jmin+1, i)
+			st.curE[i] = st.prevE[jmin] + rerr(jmin+1, i)
 			if jrow != nil {
 				jrow[i] = int32(jmin)
 			}
@@ -167,9 +209,9 @@ func (st *dpState) fillRow(k int) (float64, error) {
 			err1 := st.prevE[j]
 			var err2 float64
 			if st.pruneJ {
-				err2 = sseRange(j+1, i) // gap free by construction of jmin
+				err2 = rerr(j+1, i) // gap free by construction of jmin
 			} else {
-				err2 = px.SSEMergeAll(j+1, i)
+				err2 = kn.MergeErrAll(j+1, i)
 			}
 			if err1+err2 < best {
 				best = err1 + err2
@@ -187,11 +229,7 @@ func (st *dpState) fillRow(k int) (float64, error) {
 			jrow[i] = bestJ
 		}
 	}
-
-	if st.storeSplits {
-		st.splits = append(st.splits, jrow)
-	}
-	return st.curE[n], nil
+	return nil
 }
 
 // reconstruct follows the split-point matrix from cell (c, n) and builds the
@@ -201,7 +239,7 @@ func (st *dpState) reconstruct(c int) []temporal.SeqRow {
 	n := st.n
 	for k := c; k >= 1; k-- {
 		j := int(st.splits[k-1][n])
-		rows[k-1] = st.px.MergeRange(j+1, n)
+		rows[k-1] = st.kn.MergeRange(j+1, n)
 		n = j
 	}
 	return rows
@@ -259,11 +297,11 @@ func runSizeBoundedMode(seq *temporal.Sequence, c int, opts Options, pruneI, pru
 		}
 		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
 	}
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
 	}
-	if cmin := px.CMin(); c < cmin {
+	if cmin := kn.CMin(); c < cmin {
 		return nil, &InfeasibleSizeError{C: c, CMin: cmin}
 	}
 	if c >= n {
@@ -271,8 +309,7 @@ func runSizeBoundedMode(seq *temporal.Sequence, c int, opts Options, pruneI, pru
 		out := seq.Clone()
 		return &DPResult{Sequence: out, C: n}, nil
 	}
-	st := newDPState(px, opts, true, true)
-	st.pruneI, st.pruneJ = pruneI, pruneJ
+	st := newDPState(kn, opts, pruneI, pruneJ, true)
 	var finalErr float64
 	for k := 1; k <= c; k++ {
 		if finalErr, err = st.fillRow(k); err != nil {
@@ -291,9 +328,10 @@ func runSizeBoundedMode(seq *temporal.Sequence, c int, opts Options, pruneI, pru
 // PTAc evaluates size-bounded PTA exactly (Definition 6, algorithm of
 // Fig. 7): it reduces the sequential relation seq to c tuples with the
 // minimal possible sum-squared error. It requires cmin ≤ c; when c ≥ n the
-// input is returned unchanged. Worst-case complexity is O(n²·c·p) time and
-// O(n·c) space; with temporal gaps and aggregation groups the Section 5.3
-// bounds prune most cells.
+// input is returned unchanged. Worst-case complexity is O(n²·c·p) time
+// with the default scan fill and O(n log n · c · p) with the monotone
+// fills; space is O(n·c) either way. With temporal gaps and aggregation
+// groups the Section 5.3 bounds prune most cells.
 func PTAc(seq *temporal.Sequence, c int, opts Options) (*DPResult, error) {
 	return runSizeBounded(seq, c, opts, true)
 }
@@ -337,14 +375,13 @@ func runErrorBoundedMode(seq *temporal.Sequence, eps float64, opts Options, prun
 	if n == 0 {
 		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
 	}
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
 	}
-	maxErr := px.MaxError()
+	maxErr := kn.MaxError()
 	bound := acceptErrorBound(eps*maxErr, maxErr)
-	st := newDPState(px, opts, true, true)
-	st.pruneI, st.pruneJ = pruneI, pruneJ
+	st := newDPState(kn, opts, pruneI, pruneJ, true)
 	for k := 1; k <= n; k++ {
 		e, err := st.fillRow(k)
 		if err != nil {
@@ -375,13 +412,13 @@ func Matrices(seq *temporal.Sequence, c int, opts Options) ([][]float64, [][]int
 	if c < 1 || c > n {
 		return nil, nil, fmt.Errorf("core: matrix row count %d outside 1..%d", c, n)
 	}
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	// The split rows leave the function, so they must not come from a
 	// caller-provided Scratch (whose rows are reused by the next call).
-	st := newDPState(px, opts, true, true)
+	st := newDPState(kn, opts, true, true, true)
 	st.ownSplits = true
 	em := make([][]float64, c)
 	for k := 1; k <= c; k++ {
@@ -403,11 +440,11 @@ func ErrorCurve(seq *temporal.Sequence, kmax int, opts Options) ([]float64, erro
 	if kmax < 1 || kmax > n {
 		return nil, fmt.Errorf("core: kmax %d outside 1..%d", kmax, n)
 	}
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
 	}
-	st := newDPState(px, opts, true, false)
+	st := newDPState(kn, opts, true, true, false)
 	curve := make([]float64, kmax)
 	for k := 1; k <= kmax; k++ {
 		var err error

@@ -46,7 +46,7 @@ func approx(t *testing.T, got, want, tol float64, what string) {
 // TestPrefixExample12 reproduces Example 12: S, SS, L prefixes and the error
 // of merging {s2, s3}.
 func TestPrefixExample12(t *testing.T) {
-	px, err := NewPrefix(figure1c(), Options{})
+	px, err := NewKernel(figure1c(), Options{})
 	if err != nil {
 		t.Fatalf("NewPrefix: %v", err)
 	}
@@ -54,18 +54,18 @@ func TestPrefixExample12(t *testing.T) {
 	wantSS := []float64{1280000, 1640000, 1890000, 2135000}
 	wantL := []int64{2, 3, 4, 6}
 	for i := 1; i <= 4; i++ {
-		approx(t, px.s[0][i], wantS[i-1], 1e-6, "S")
-		approx(t, px.ss[0][i], wantSS[i-1], 1e-6, "SS")
+		approx(t, px.s[i], wantS[i-1], 1e-6, "S")
+		approx(t, px.ss[i], wantSS[i-1], 1e-6, "SS")
 		if px.l[i] != wantL[i-1] {
 			t.Errorf("L[%d] = %d, want %d", i, px.l[i], wantL[i-1])
 		}
 	}
 	// SSE({s2, s3}) = 1890000 − 1280000 − (2700−1600)²/(4−2) = 5000.
-	approx(t, px.SSERange(2, 3), 5000, 1e-6, "SSE(s2..s3)")
+	approx(t, px.MergeErr(2, 3), 5000, 1e-6, "SSE(s2..s3)")
 }
 
 func TestPrefixGapsAndCMin(t *testing.T) {
-	px, _ := NewPrefix(figure1c(), Options{})
+	px, _ := NewKernel(figure1c(), Options{})
 	gaps := px.Gaps()
 	if len(gaps) != 2 || gaps[0] != 5 || gaps[1] != 6 {
 		t.Fatalf("Gaps = %v, want [5 6]", gaps)
@@ -85,7 +85,7 @@ func TestPrefixGapsAndCMin(t *testing.T) {
 // Fig. 4 is the group-A run error; group-B runs are singletons with zero
 // error, so SSEmax equals it).
 func TestPrefixMaxError(t *testing.T) {
-	px, _ := NewPrefix(figure1c(), Options{})
+	px, _ := NewKernel(figure1c(), Options{})
 	approx(t, px.MaxError(), 269285.714285714, 1e-3, "MaxError")
 }
 
@@ -93,7 +93,7 @@ func TestPrefixMaxError(t *testing.T) {
 // compares every cell against Fig. 4 (values are floor-rounded in the
 // paper; we use a ±1 tolerance).
 func TestErrorMatrixFig4(t *testing.T) {
-	px, _ := NewPrefix(figure1c(), Options{})
+	px, _ := NewKernel(figure1c(), Options{})
 	want := [][]float64{
 		{0, 26666, 67500, 208333, 269285, Inf, Inf},
 		{Inf, 0, 5000, 41666, 49166, 269285, Inf},
@@ -101,7 +101,7 @@ func TestErrorMatrixFig4(t *testing.T) {
 		{Inf, Inf, Inf, 0, 1666, 6666, 49166},
 	}
 	for _, pruned := range []bool{true, false} {
-		st := newDPState(px, Options{}, pruned, true)
+		st := newDPState(px, Options{}, pruned, pruned, true)
 		for k := 1; k <= 4; k++ {
 			st.fillRow(k)
 			for i := 1; i <= 7; i++ {
@@ -123,8 +123,8 @@ func TestErrorMatrixFig4(t *testing.T) {
 // TestSplitMatrixFig5 checks the split points on the optimal path of Fig. 5:
 // J[4][7]=6, J[3][6]=5, J[2][5]=2, J[1][2]=0.
 func TestSplitMatrixFig5(t *testing.T) {
-	px, _ := NewPrefix(figure1c(), Options{})
-	st := newDPState(px, Options{}, true, true)
+	px, _ := NewKernel(figure1c(), Options{})
+	st := newDPState(px, Options{}, true, true, true)
 	for k := 1; k <= 4; k++ {
 		st.fillRow(k)
 	}

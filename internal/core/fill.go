@@ -1,0 +1,392 @@
+package core
+
+import "fmt"
+
+// FillAlgo selects the algorithm that fills one row of the DP error matrix
+// E[k] given row E[k−1]. All algorithms produce bitwise-identical E and J
+// rows — they share the CostKernel's merge-cost arithmetic and the same
+// rightmost-argmin tie handling — and differ only in how many candidate
+// split points they evaluate:
+//
+//   - FillPruned scans candidates right to left with the Jagadish-style
+//     early exit (the merge cost grows as the split moves left, so the scan
+//     stops once it alone exceeds the best total). Worst case O(n) per
+//     cell, O(n²) per row; in practice often far less.
+//   - FillDC exploits that on counter-like series — per-run monotone
+//     values, certified by CostKernel.MonotoneRuns — the weighted SSE
+//     merge cost satisfies the concave quadrangle inequality, so optimal
+//     split points are monotone across a row: divide and conquer over the
+//     row evaluates O(n log n) candidates per row.
+//   - FillSMAWK applies the SMAWK row-minima algorithm to the same
+//     totally monotone candidate matrix: O(n) candidate evaluations per
+//     row, the asymptotic optimum.
+//
+// On series the kernel cannot certify, FillDC and FillSMAWK fall back to
+// the scan (the quadrangle inequality genuinely fails on oscillating
+// values, so a monotone fill would return suboptimal rows there); results
+// are therefore identical for every selection on every input. FillAuto
+// (the zero value) picks FillPruned below fillAutoThreshold rows and
+// FillDC at or above it — except for the pruning-ablation modes, whose
+// scan-work measurements auto never replaces.
+type FillAlgo uint8
+
+const (
+	// FillAuto selects the algorithm by input size (the default).
+	FillAuto FillAlgo = iota
+	// FillPruned is the i*/j′-pruned right-to-left candidate scan.
+	FillPruned
+	// FillDC is the monotone divide-and-conquer row fill.
+	FillDC
+	// FillSMAWK is the SMAWK totally-monotone row-minima fill.
+	FillSMAWK
+)
+
+// fillAutoThreshold is the input size at which FillAuto switches from the
+// pruned scan to the monotone divide-and-conquer fill (on series the kernel
+// certifies; everything else scans regardless). On certified workloads the
+// measured crossover is far below this — FillDC already wins ~2× at n = 64
+// and ~40× at n = 8192 — so the threshold only keeps the certification scan
+// and recursion off inputs too small to care. The `fill` experiment records
+// the trajectory.
+const fillAutoThreshold = 256
+
+// String names the algorithm; the names round-trip through ParseFillAlgo.
+func (a FillAlgo) String() string {
+	switch a {
+	case FillAuto:
+		return "auto"
+	case FillPruned:
+		return "pruned"
+	case FillDC:
+		return "dc"
+	case FillSMAWK:
+		return "smawk"
+	}
+	return fmt.Sprintf("fill(%d)", uint8(a))
+}
+
+// ParseFillAlgo resolves a row-fill algorithm name ("auto", "pruned", "dc"
+// or "smawk").
+func ParseFillAlgo(s string) (FillAlgo, error) {
+	switch s {
+	case "", "auto":
+		return FillAuto, nil
+	case "pruned":
+		return FillPruned, nil
+	case "dc":
+		return FillDC, nil
+	case "smawk":
+		return FillSMAWK, nil
+	}
+	return FillAuto, fmt.Errorf("core: unknown fill algorithm %q (have %v)", s, FillAlgoNames())
+}
+
+// FillAlgoNames lists the recognized fill-algorithm names in definition
+// order.
+func FillAlgoNames() []string {
+	return []string{"auto", "pruned", "dc", "smawk"}
+}
+
+// resolve maps FillAuto onto a concrete algorithm for an input of size n.
+func (a FillAlgo) resolve(n int) FillAlgo {
+	if a != FillAuto {
+		return a
+	}
+	if n >= fillAutoThreshold {
+		return FillDC
+	}
+	return FillPruned
+}
+
+// The monotone row fills below compute, for every cell i of row k ≥ 2,
+//
+//	E[k][i] = min_j E[k−1][j] + w(j+1, i),   J[k][i] = the LARGEST argmin,
+//
+// where w is the merge cost (Inf across gaps). When the kernel certifies
+// per-run monotone values (MonotoneRuns), w satisfies the concave
+// quadrangle inequality within every run — for split candidates j < j′ and
+// cells i < i′ of one run,
+//
+//	w(j+1, i) + w(j′+1, i′) ≤ w(j+1, i′) + w(j′+1, i)
+//
+// (the weighted sorted 1-D k-means Monge property) — so the candidate
+// matrix M[i][j] = E[k−1][j] + w(j+1, i) is totally monotone: if a right
+// candidate is at least as good as a left one at some cell, it stays at
+// least as good at every later cell. The rightmost argmin is therefore
+// non-decreasing in i, which is exactly the tie-break the pruned scan
+// applies (it scans right to left and keeps the first strict improvement),
+// so the monotone fills reproduce its E and J rows bit for bit.
+//
+// Gaps integrate into the same framework: a merge cost across a gap is Inf,
+// and those Inf cells persist downward (the rightmost gap before i is
+// non-decreasing in i), which preserves total monotonicity across run
+// boundaries — every all-finite comparison quadruple lies inside one run,
+// where the certified inequality applies. Both fills therefore restrict
+// each cell's candidate window to [max(k−1, rightmostGapBefore(i)), i−1] —
+// the Section 5.3 jmin bound — and cap the cell range at the k-th gap — the
+// imax bound — unconditionally: outside those bounds every candidate is
+// infinite, so the produced rows are identical for every PruneMode (only
+// the scan's work differs across ablation modes).
+
+// ensureRightGap materializes rightmostGapBefore(i) for every position so
+// the monotone fills resolve candidate windows in O(1) under random access.
+func (st *dpState) ensureRightGap() {
+	if st.rightGap != nil {
+		return
+	}
+	st.rightGap = make([]int32, st.n+1)
+	rg, gi := int32(0), 0
+	gaps := st.kn.gaps
+	for i := 0; i <= st.n; i++ {
+		for gi < len(gaps) && gaps[gi] < i {
+			rg = int32(gaps[gi])
+			gi++
+		}
+		st.rightGap[i] = rg
+	}
+}
+
+// effectiveIMax caps a row's cell range at the k-th gap: beyond it every
+// cell of row k is infinite regardless of the pruning mode, so the monotone
+// fills never visit those cells (the initialization already left them Inf
+// with split point 0, matching the scan's output).
+func (st *dpState) effectiveIMax(k, imax int) int {
+	if k <= len(st.kn.gaps) && st.kn.gaps[k-1] < imax {
+		return st.kn.gaps[k-1]
+	}
+	return imax
+}
+
+// pollFill polls cancellation every cancelCheckCells candidate evaluations,
+// amortizing the context check off the monotone fills' hot path.
+func (st *dpState) pollFill(evals int) error {
+	st.fillSteps += int64(evals)
+	if st.fillSteps < cancelCheckCells {
+		return nil
+	}
+	st.fillSteps = 0
+	return st.opts.canceled()
+}
+
+// --- monotone divide and conquer ---
+
+// fillRowDC fills row k ≥ 2 by divide and conquer over the cells: solve the
+// middle cell by scanning its candidate window, then recurse left and right
+// with the window split at the middle's argmin. O(n log n) candidate
+// evaluations per row.
+func (st *dpState) fillRowDC(k, imax int, jrow []int32) error {
+	imax = st.effectiveIMax(k, imax)
+	if k > imax {
+		return nil
+	}
+	st.ensureRightGap()
+	return st.dcSolve(k, k, imax, k-1, imax-1, jrow)
+}
+
+// dcSolve fills cells ilo..ihi with candidate split points clamped to
+// [jlo, jhi] (further clamped per cell by its own jmin window).
+func (st *dpState) dcSolve(k, ilo, ihi, jlo, jhi int, jrow []int32) error {
+	if ilo > ihi {
+		return nil
+	}
+	mid := ilo + (ihi-ilo)/2
+	lo := max(jlo, max(k-1, int(st.rightGap[mid])))
+	hi := min(jhi, mid-1)
+	rerr := st.rerr
+	prevE := st.prevE
+	best := Inf
+	bestJ := 0
+	inner := 0
+	for j := hi; j >= lo; j-- {
+		inner++
+		err2 := rerr(j+1, mid)
+		if v := prevE[j] + err2; v < best {
+			best = v
+			bestJ = j
+		}
+		// err2 grows as j decreases; once it alone exceeds the best total,
+		// no smaller j can win (the scan's early exit applies here too).
+		if err2 > best {
+			break
+		}
+	}
+	st.stats.Cells++
+	st.stats.InnerIters += int64(inner)
+	st.curE[mid] = best
+	if jrow != nil {
+		jrow[mid] = int32(bestJ)
+	}
+	if err := st.pollFill(inner); err != nil {
+		return err
+	}
+	// An Inf cell (every candidate saturated — possible under extreme
+	// weights even on certified data) constrains neither neighbor: recurse
+	// with the parent's bounds instead of narrowing through its sentinel.
+	leftHi, rightLo := bestJ, bestJ
+	if best == Inf {
+		leftHi, rightLo = jhi, jlo
+	}
+	if err := st.dcSolve(k, ilo, mid-1, jlo, leftHi, jrow); err != nil {
+		return err
+	}
+	return st.dcSolve(k, mid+1, ihi, rightLo, jhi, jrow)
+}
+
+// --- SMAWK ---
+
+// smawkValue evaluates the candidate matrix entry M[i][j] for row k: Inf
+// for columns on or right of the diagonal (j ≥ i is not a feasible split
+// for cell i) and for split points whose merge would cross a gap,
+// E[k−1][j] + w(j+1, i) otherwise. Diagonal pads are handled structurally
+// — the reduce step never compares two pads and the interpolation scan
+// skips them — so no finite sentinel exists for genuine (arbitrarily
+// large) merge costs to undercut.
+func (st *dpState) smawkValue(i, j int) float64 {
+	if j >= i {
+		return Inf
+	}
+	if int(st.rightGap[i]) > j {
+		return Inf
+	}
+	return st.prevE[j] + st.rerr(j+1, i)
+}
+
+// smawkCarve hands out a zero-length int32 slice with the given capacity
+// from the per-state arena. The SMAWK recursion is a chain whose level
+// sizes halve, so one row fill carves at most 3·(rows+1) entries in total;
+// fillRowSMAWK sizes the arena accordingly and resets it per row, which
+// keeps the whole fill allocation-free after the first row.
+func (st *dpState) smawkCarve(capacity int) []int32 {
+	s := st.smawkBuf[st.smawkOff : st.smawkOff : st.smawkOff+capacity]
+	st.smawkOff += capacity
+	return s
+}
+
+// fillRowSMAWK fills row k ≥ 2 with the SMAWK algorithm over the totally
+// monotone candidate matrix: O(n) candidate evaluations per row.
+func (st *dpState) fillRowSMAWK(k, imax int, jrow []int32) error {
+	imax = st.effectiveIMax(k, imax)
+	if k > imax {
+		return nil
+	}
+	st.ensureRightGap()
+	if st.smawkArg == nil {
+		st.smawkArg = make([]int32, st.n+1)
+	}
+	n := imax - k + 1 // cells k..imax, candidate columns k-1..imax-1
+	if need := 3 * (n + 1); cap(st.smawkBuf) < need {
+		st.smawkBuf = make([]int32, need)
+	}
+	st.smawkOff = 0
+	cols := st.smawkCarve(n)
+	for t := 0; t < n; t++ {
+		cols = append(cols, int32(k-1+t))
+	}
+	if err := st.smawk(k, 1, n, cols); err != nil {
+		return err
+	}
+	st.stats.Cells += int64(n)
+	// smawk wrote minima and argmins directly; copy argmins out when the
+	// caller keeps split rows.
+	if jrow != nil {
+		copy(jrow[k:imax+1], st.smawkArg[k:imax+1])
+	}
+	return nil
+}
+
+// smawk computes the row minima of the candidate matrix restricted to the
+// cell arithmetic progression rStart, rStart+rStep, ... (rCount cells) and
+// the candidate columns cols, writing E values into curE and argmins into
+// smawkArg. cols must be ascending; rightmost argmins are selected.
+func (st *dpState) smawk(rStart, rStep, rCount int, cols []int32) error {
+	if rCount == 0 {
+		return nil
+	}
+	// Reduce: retain at most rCount columns that can hold a row minimum.
+	S := st.smawkCarve(min(rCount, len(cols)))
+	cmps := 0
+	for _, c := range cols {
+		for len(S) > 0 {
+			r := rStart + (len(S)-1)*rStep
+			top := int(S[len(S)-1])
+			if top >= r {
+				// top sits on/right of the diagonal at this cell, and so
+				// does c (it is further right): two pads are incomparable
+				// here — both may only matter for deeper cells, so keep
+				// the stack and push c below.
+				break
+			}
+			cmps++
+			// The rightmost-tie convention pops on ties: an equally good
+			// column further right shadows the stack top from this cell
+			// on. Inf-valued tops (gap-crossing or infeasible-prefix
+			// columns) tie with anything ≤ Inf and stay Inf at every
+			// deeper cell, so popping them is always sound.
+			if st.smawkValue(r, top) >= st.smawkValue(r, int(c)) {
+				S = S[:len(S)-1]
+			} else {
+				break
+			}
+		}
+		if len(S) < rCount {
+			S = append(S, c)
+		}
+	}
+	st.stats.InnerIters += int64(cmps)
+	if err := st.pollFill(2 * cmps); err != nil {
+		return err
+	}
+	// Recurse on the odd cells (1-based odd indices of the progression).
+	if err := st.smawk(rStart+rStep, 2*rStep, rCount/2, S); err != nil {
+		return err
+	}
+	// Interpolate the even cells: cell t's rightmost argmin lies between
+	// the argmins of its odd neighbors (argmins are monotone), scanned
+	// right to left so the first strict improvement is the rightmost.
+	loIdx := 0
+	evals := 0
+	for t := 0; t < rCount; t += 2 {
+		i := rStart + t*rStep
+		if t > 0 {
+			// Argmin 0 is the Inf-cell sentinel (real argmins are ≥ k−1 ≥ 1)
+			// and constrains nothing; loIdx then keeps the bound of the
+			// last finite neighbor, which is still a valid lower bound.
+			down := st.smawkArg[rStart+(t-1)*rStep]
+			for loIdx < len(S)-1 && S[loIdx] < down {
+				loIdx++
+			}
+		}
+		hiIdx := len(S) - 1
+		if t+1 < rCount {
+			// The next odd cell's argmin bounds this cell's window from
+			// above; walk up from loIdx (argmins are monotone, so the walk
+			// is amortized by the scan below, never a rescan from the top).
+			// A sentinel neighbor (all-Inf cell) leaves the window open.
+			if up := st.smawkArg[rStart+(t+1)*rStep]; up != 0 {
+				hiIdx = loIdx
+				for hiIdx < len(S)-1 && S[hiIdx] < up {
+					hiIdx++
+				}
+			}
+		}
+		best := Inf
+		bestJ := int32(0)
+		cellEvals := 0
+		for q := hiIdx; q >= loIdx; q-- {
+			j := int(S[q])
+			if j >= i {
+				continue // diagonal pad: not a feasible split for this cell
+			}
+			cellEvals++
+			if v := st.smawkValue(i, j); v < best {
+				best = v
+				bestJ = S[q]
+			}
+		}
+		evals += cellEvals
+		st.stats.InnerIters += int64(cellEvals)
+		st.curE[i] = best
+		st.smawkArg[i] = bestJ
+	}
+	return st.pollFill(evals)
+}

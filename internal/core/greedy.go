@@ -403,11 +403,11 @@ type Estimate struct {
 // the experiments' setting ("instead of estimating ... we use the correct
 // values", Section 7.2.2).
 func ExactEstimate(seq *temporal.Sequence, opts Options) (Estimate, error) {
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{N: seq.Len(), EMax: px.MaxError()}, nil
+	return Estimate{N: seq.Len(), EMax: kn.MaxError()}, nil
 }
 
 // SampleEstimate estimates n̂ and Êmax for the ITA result of a relation of
@@ -417,13 +417,13 @@ func SampleEstimate(sample *temporal.Sequence, inputSize int, fraction float64, 
 	if fraction <= 0 || fraction > 1 {
 		return Estimate{}, fmt.Errorf("core: sample fraction %v outside (0, 1]", fraction)
 	}
-	px, err := NewPrefix(sample, opts)
+	kn, err := NewKernel(sample, opts)
 	if err != nil {
 		return Estimate{}, err
 	}
 	return Estimate{
 		N:    2*inputSize - 1,
-		EMax: px.MaxError() / fraction,
+		EMax: kn.MaxError() / fraction,
 	}, nil
 }
 

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/temporal"
+)
+
+// CostKernel is the shared merge-cost kernel behind every exact PTA
+// evaluation: the auxiliary prefix structures of Section 5.2 for a
+// sequential relation s of size n with p aggregate attributes, stored as
+// flat, contiguous slabs so the DP inner loops stream over cache lines
+// instead of chasing per-dimension row pointers:
+//
+//	s[d·(n+1)+i]  = Σ_{j≤i} |s_j.T| · s_j.B_d        (length-weighted value sums)
+//	ss[d·(n+1)+i] = Σ_{j≤i} |s_j.T| · s_j.B_d²       (length-weighted square sums)
+//	l[i]          = Σ_{j≤i} |s_j.T|                   (timestamp lengths)
+//	gaps          = positions of non-adjacent tuple pairs (the gap vector)
+//
+// With them the error of merging any gap-free run s_i..s_j into one tuple is
+// computed in O(p) time (Proposition 1) by MergeErr. Building a kernel costs
+// O(np) time and space (the slabs come from Options.Scratch when one is
+// provided); in the paper this work is folded into the ITA scan.
+//
+// One kernel serves any number of row fills over the same sequence — the DP
+// evaluators, DPMulti, the incremental Solver and the parallel run curves
+// all draw their merge costs from here, so the cost arithmetic exists
+// exactly once.
+type CostKernel struct {
+	seq  *temporal.Sequence
+	n, p int
+	w2   []float64
+	s    []float64 // [p*(n+1)] flat, dimension-major; index 0 of each slab is the empty prefix
+	ss   []float64 // [p*(n+1)] flat, dimension-major
+	l    []int64   // [n+1]
+	gaps []int     // 1-based positions l with s_l ⊀ s_{l+1}, ascending
+
+	monotoneState uint8 // MonotoneRuns cache: 0 unknown, 1 certified, 2 violated
+}
+
+// NewKernel validates the sequence and the options and builds the cost
+// kernel. When opts.Scratch is set, the prefix slabs are drawn from it and
+// stay valid only for the current evaluation; retained states (Solver,
+// MatrixSet) must build kernels without a Scratch.
+func NewKernel(seq *temporal.Sequence, opts Options) (*CostKernel, error) {
+	w2, err := opts.weightsSquared(seq.P())
+	if err != nil {
+		return nil, err
+	}
+	n, p := seq.Len(), seq.P()
+	kn := &CostKernel{
+		seq:  seq,
+		n:    n,
+		p:    p,
+		w2:   w2,
+		gaps: seq.GapPositions(),
+	}
+	if sc := opts.Scratch; sc != nil {
+		kn.s, kn.ss, kn.l = sc.kernelSlabs(n, p)
+	} else {
+		kn.s = make([]float64, p*(n+1))
+		kn.ss = make([]float64, p*(n+1))
+		kn.l = make([]int64, n+1)
+	}
+	stride := n + 1
+	kn.l[0] = 0
+	for d := 0; d < p; d++ {
+		kn.s[d*stride] = 0
+		kn.ss[d*stride] = 0
+	}
+	for i := 1; i <= n; i++ {
+		row := seq.Rows[i-1]
+		length := float64(row.T.Len())
+		kn.l[i] = kn.l[i-1] + row.T.Len()
+		for d := 0; d < p; d++ {
+			v := row.Aggs[d]
+			kn.s[d*stride+i] = kn.s[d*stride+i-1] + length*v
+			kn.ss[d*stride+i] = kn.ss[d*stride+i-1] + length*v*v
+		}
+	}
+	return kn, nil
+}
+
+// N returns the sequence size n.
+func (kn *CostKernel) N() int { return kn.n }
+
+// P returns the number of aggregate attributes p.
+func (kn *CostKernel) P() int { return kn.p }
+
+// Sequence returns the underlying sequential relation.
+func (kn *CostKernel) Sequence() *temporal.Sequence { return kn.seq }
+
+// Gaps returns the gap vector G: the ascending 1-based positions l at which
+// rows l and l+1 are non-adjacent.
+func (kn *CostKernel) Gaps() []int { return kn.gaps }
+
+// CMin returns the smallest reachable reduction size (number of maximal
+// adjacent runs).
+func (kn *CostKernel) CMin() int {
+	if kn.n == 0 {
+		return 0
+	}
+	return len(kn.gaps) + 1
+}
+
+// MergeErr returns the error of merging the (assumed gap-free) run s_i..s_j
+// into one tuple, per Proposition 1. Indices are 1-based and inclusive,
+// 1 ≤ i ≤ j ≤ n. The one-dimensional case — most of the paper's queries —
+// is a handful of flat loads with no inner loop.
+func (kn *CostKernel) MergeErr(i, j int) float64 {
+	if i == j {
+		return 0 // a single tuple merges into itself without error
+	}
+	if kn.p == 1 {
+		length := float64(kn.l[j] - kn.l[i-1])
+		sv := kn.s[j] - kn.s[i-1]
+		e := kn.w2[0] * (kn.ss[j] - kn.ss[i-1] - sv*sv/length)
+		if e < 0 {
+			// Guard against tiny negative residues from cancellation.
+			return 0
+		}
+		return e
+	}
+	return kn.mergeErrWide(i, j)
+}
+
+// mergeErrWide is the general multi-attribute merge cost, kept out of
+// MergeErr so the p = 1 fast path stays small.
+func (kn *CostKernel) mergeErrWide(i, j int) float64 {
+	length := float64(kn.l[j] - kn.l[i-1])
+	stride := kn.n + 1
+	var sse float64
+	for d := 0; d < kn.p; d++ {
+		base := d * stride
+		sv := kn.s[base+j] - kn.s[base+i-1]
+		sse += kn.w2[d] * (kn.ss[base+j] - kn.ss[base+i-1] - sv*sv/length)
+	}
+	// Guard against tiny negative residues from cancellation.
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}
+
+// rangeErr returns the merge-cost closure of the row-fill hot loops: the
+// slab slices and the weight are hoisted into locals once per row fill, so
+// the per-candidate evaluation is branch-light flat-slice arithmetic with
+// the bounds checks lifted out of the inner loop.
+func (kn *CostKernel) rangeErr() func(i, j int) float64 {
+	if kn.p == 1 {
+		s, ss, l, w20 := kn.s[:kn.n+1], kn.ss[:kn.n+1], kn.l[:kn.n+1], kn.w2[0]
+		return func(i, j int) float64 {
+			if i == j {
+				return 0
+			}
+			length := float64(l[j] - l[i-1])
+			sv := s[j] - s[i-1]
+			e := w20 * (ss[j] - ss[i-1] - sv*sv/length)
+			if e < 0 {
+				return 0
+			}
+			return e
+		}
+	}
+	return func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return kn.mergeErrWide(i, j)
+	}
+}
+
+// MonotoneRuns reports whether, within every maximal gap-free run and for
+// every aggregate dimension independently, the values are monotone
+// (non-decreasing or non-increasing) — the shape of cumulative counters,
+// ramping gauges and other accumulating series. Under this precondition the
+// weighted merge cost satisfies the concave quadrangle inequality
+//
+//	MergeErr(a, e₁) + MergeErr(b, e₂) ≤ MergeErr(a, e₂) + MergeErr(b, e₁)
+//
+// for a ≤ b ≤ e₁ ≤ e₂ inside one run (the classical sorted 1-D k-means
+// Monge property), which makes DP split points monotone across a row and
+// unlocks the FillDC/FillSMAWK row fills. On oscillating data the
+// inequality genuinely fails (e.g. values 0, 100, 0), so the monotone fills
+// consult this certificate and fall back to the scan when it does not hold.
+// The answer is computed once per kernel and cached; like every kernel
+// method it must not be called concurrently with itself.
+func (kn *CostKernel) MonotoneRuns() bool {
+	if kn.monotoneState == 0 {
+		kn.monotoneState = 2
+		if kn.computeMonotone() {
+			kn.monotoneState = 1
+		}
+	}
+	return kn.monotoneState == 1
+}
+
+func (kn *CostKernel) computeMonotone() bool {
+	if kn.n == 0 {
+		return true
+	}
+	rows := kn.seq.Rows
+	check := func(lo, hi int) bool { // 0-based inclusive row range of one run
+		for d := 0; d < kn.p; d++ {
+			dir := 0
+			prev := rows[lo].Aggs[d]
+			for r := lo + 1; r <= hi; r++ {
+				v := rows[r].Aggs[d]
+				switch {
+				case v > prev:
+					if dir < 0 {
+						return false
+					}
+					dir = 1
+				case v < prev:
+					if dir > 0 {
+						return false
+					}
+					dir = -1
+				}
+				prev = v
+			}
+		}
+		return true
+	}
+	start := 0
+	for _, g := range kn.gaps {
+		if !check(start, g-1) {
+			return false
+		}
+		start = g
+	}
+	return check(start, kn.n-1)
+}
+
+// HasGap reports whether the run s_i..s_j (1-based, inclusive) contains at
+// least one non-adjacent pair.
+func (kn *CostKernel) HasGap(i, j int) bool {
+	if i >= j {
+		return false
+	}
+	// The run has a gap iff some gap position l satisfies i ≤ l < j.
+	k := sort.SearchInts(kn.gaps, i)
+	return k < len(kn.gaps) && kn.gaps[k] < j
+}
+
+// RightmostGapBefore returns the largest gap position strictly smaller than
+// i, or 0 when there is none. It is the j_min bound of Section 5.3.
+func (kn *CostKernel) RightmostGapBefore(i int) int {
+	k := sort.SearchInts(kn.gaps, i)
+	if k == 0 {
+		return 0
+	}
+	return kn.gaps[k-1]
+}
+
+// MergeErrAll returns the error of merging s_i..s_j into one tuple, or Inf
+// when the run crosses a gap or group boundary.
+func (kn *CostKernel) MergeErrAll(i, j int) float64 {
+	if kn.HasGap(i, j) {
+		return Inf
+	}
+	return kn.MergeErr(i, j)
+}
+
+// MaxError returns SSEmax = SSE(s, ρ(s, cmin)): the error of the maximal
+// reduction that merges every maximal adjacent run into a single tuple.
+func (kn *CostKernel) MaxError() float64 {
+	if kn.n == 0 {
+		return 0
+	}
+	var total float64
+	start := 1
+	for _, g := range kn.gaps {
+		total += kn.MergeErr(start, g)
+		start = g + 1
+	}
+	total += kn.MergeErr(start, kn.n)
+	return total
+}
+
+// MergeRange builds the tuple s_i ⊕ ... ⊕ s_j (1-based, inclusive): the
+// grouping values of s_i, the concatenated timestamp, and length-weighted
+// average aggregate values (Definition 3 applied associatively).
+func (kn *CostKernel) MergeRange(i, j int) temporal.SeqRow {
+	kn.validateBounds(i, j)
+	first, last := kn.seq.Rows[i-1], kn.seq.Rows[j-1]
+	length := float64(kn.l[j] - kn.l[i-1])
+	stride := kn.n + 1
+	aggs := make([]float64, kn.p)
+	for d := 0; d < kn.p; d++ {
+		aggs[d] = (kn.s[d*stride+j] - kn.s[d*stride+i-1]) / length
+	}
+	return temporal.SeqRow{
+		Group: first.Group,
+		Aggs:  aggs,
+		T:     temporal.Interval{Start: first.T.Start, End: last.T.End},
+	}
+}
+
+// validateBounds panics on malformed 1-based run bounds; exported entry
+// points validate their arguments instead, so this is a defensive check for
+// internal callers only.
+func (kn *CostKernel) validateBounds(i, j int) {
+	if i < 1 || j > kn.n || i > j {
+		panic(fmt.Sprintf("core: run bounds [%d, %d] out of range 1..%d", i, j, kn.n))
+	}
+}

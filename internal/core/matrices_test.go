@@ -60,7 +60,7 @@ func TestNodeLessTieBreaks(t *testing.T) {
 }
 
 func TestPrefixValidateBoundsPanics(t *testing.T) {
-	px, _ := NewPrefix(figure1c(), Options{})
+	px, _ := NewKernel(figure1c(), Options{})
 	defer func() {
 		if recover() == nil {
 			t.Error("MergeRange with inverted bounds should panic")
@@ -70,14 +70,14 @@ func TestPrefixValidateBoundsPanics(t *testing.T) {
 }
 
 func TestPrefixSSEMergeAllAcrossGroups(t *testing.T) {
-	px, _ := NewPrefix(figure1c(), Options{})
-	if !math.IsInf(px.SSEMergeAll(5, 6), 1) {
+	px, _ := NewKernel(figure1c(), Options{})
+	if !math.IsInf(px.MergeErrAll(5, 6), 1) {
 		t.Error("merging across the group boundary must cost Inf")
 	}
-	if !math.IsInf(px.SSEMergeAll(1, 7), 1) {
+	if !math.IsInf(px.MergeErrAll(1, 7), 1) {
 		t.Error("merging everything must cost Inf")
 	}
-	if math.IsInf(px.SSEMergeAll(1, 5), 1) {
+	if math.IsInf(px.MergeErrAll(1, 5), 1) {
 		t.Error("merging the group-A run must be finite")
 	}
 }

@@ -25,25 +25,39 @@ type MultiBudget struct {
 // single shared pass, not a per-budget share. An infeasible size budget
 // (below cmin) fails the whole call with an InfeasibleSizeError.
 func DPMulti(seq *temporal.Sequence, budgets []MultiBudget, opts Options, pruneI, pruneJ bool) ([]*DPResult, error) {
-	n := seq.Len()
+	if seq.Len() > 0 && len(budgets) > 0 {
+		kn, err := NewKernel(seq, opts)
+		if err != nil {
+			return nil, err
+		}
+		return DPMultiKernel(kn, budgets, opts, pruneI, pruneJ)
+	}
+	results := make([]*DPResult, len(budgets))
+	for i, b := range budgets {
+		if b.C > 0 {
+			return nil, fmt.Errorf("core: size bound %d for an empty relation", b.C)
+		}
+		if b.Eps < 0 || b.Eps > 1 {
+			return nil, fmt.Errorf("core: error bound %v outside [0, 1]", b.Eps)
+		}
+		results[i] = &DPResult{Sequence: seq.WithRows(nil), C: 0}
+	}
+	return results, nil
+}
+
+// DPMultiKernel is DPMulti over a prebuilt cost kernel: callers that answer
+// several budget groups of one series (Engine.CompressMany) build the
+// kernel once and share its prefix slabs across every group's matrix pass.
+// opts must be the options the kernel was built with (weights are baked
+// into the kernel).
+func DPMultiKernel(kn *CostKernel, budgets []MultiBudget, opts Options, pruneI, pruneJ bool) ([]*DPResult, error) {
+	seq := kn.Sequence()
+	n := kn.N()
 	results := make([]*DPResult, len(budgets))
 	if len(budgets) == 0 {
 		return results, nil
 	}
-	if n == 0 {
-		for i, b := range budgets {
-			if b.C > 0 {
-				return nil, fmt.Errorf("core: size bound %d for an empty relation", b.C)
-			}
-			results[i] = &DPResult{Sequence: seq.WithRows(nil), C: 0}
-		}
-		return results, nil
-	}
-	px, err := NewPrefix(seq, opts)
-	if err != nil {
-		return nil, err
-	}
-	cmin := px.CMin()
+	cmin := kn.CMin()
 
 	// Per-budget validation and the target row of the shared pass: the
 	// largest size bound below n, plus every unmet error bound.
@@ -67,15 +81,14 @@ func DPMulti(seq *temporal.Sequence, budgets []MultiBudget, opts Options, pruneI
 			return nil, fmt.Errorf("core: error bound %v outside [0, 1]", b.Eps)
 		}
 		if !maxErrKnown {
-			maxErr = px.MaxError()
+			maxErr = kn.MaxError()
 			maxErrKnown = true
 		}
 		bounds[i] = acceptErrorBound(b.Eps*maxErr, maxErr)
 		pendingEps++
 	}
 
-	st := newDPState(px, opts, true, true)
-	st.pruneI, st.pruneJ = pruneI, pruneJ
+	st := newDPState(kn, opts, pruneI, pruneJ, true)
 	rowErr := make([]float64, n+1) // rowErr[k] = E[k][n]
 	for k := 1; k <= n && (k <= targetK || pendingEps > 0); k++ {
 		e, err := st.fillRow(k)

@@ -42,14 +42,14 @@ type runCurve struct {
 }
 
 // decomposeRuns cuts the relation into its maximal adjacent runs.
-func decomposeRuns(px *Prefix) []*runCurve {
+func decomposeRuns(kn *CostKernel) []*runCurve {
 	var runs []*runCurve
 	lo := 1
-	for _, g := range px.gaps {
+	for _, g := range kn.gaps {
 		runs = append(runs, &runCurve{lo: lo, hi: g})
 		lo = g + 1
 	}
-	runs = append(runs, &runCurve{lo: lo, hi: px.n})
+	runs = append(runs, &runCurve{lo: lo, hi: kn.n})
 	return runs
 }
 
@@ -129,7 +129,7 @@ func allocateRuns(runs []*runCurve, kmax int) (final []float64, choice [][]int32
 
 // reconstructRuns walks the choice matrices backwards from a total size k
 // and expands each run's own splits into rows.
-func reconstructRuns(px *Prefix, runs []*runCurve, choice [][]int32, k int) ([]temporal.SeqRow, error) {
+func reconstructRuns(kn *CostKernel, runs []*runCurve, choice [][]int32, k int) ([]temporal.SeqRow, error) {
 	const unset = -1
 	alloc := make([]int, len(runs))
 	for r := len(runs) - 1; r >= 0; r-- {
@@ -142,7 +142,7 @@ func reconstructRuns(px *Prefix, runs []*runCurve, choice [][]int32, k int) ([]t
 	}
 	var rows []temporal.SeqRow
 	for r, rc := range runs {
-		rows = append(rows, rc.reconstruct(px, alloc[r])...)
+		rows = append(rows, rc.reconstruct(kn, alloc[r])...)
 	}
 	return rows, nil
 }
@@ -158,11 +158,11 @@ func PTAcParallel(seq *temporal.Sequence, c int, opts Options, workers int) (*DP
 		}
 		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
 	}
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
 	}
-	cmin := px.CMin()
+	cmin := kn.CMin()
 	if c < cmin {
 		return nil, &InfeasibleSizeError{C: c, CMin: cmin}
 	}
@@ -170,12 +170,12 @@ func PTAcParallel(seq *temporal.Sequence, c int, opts Options, workers int) (*DP
 		return &DPResult{Sequence: seq.Clone(), C: n}, nil
 	}
 
-	runs := decomposeRuns(px)
+	runs := decomposeRuns(kn)
 	if err := computeCurves(seq, runs, c, opts, workers); err != nil {
 		return nil, err
 	}
 	final, choice := allocateRuns(runs, c)
-	rows, err := reconstructRuns(px, runs, choice, c)
+	rows, err := reconstructRuns(kn, runs, choice, c)
 	if err != nil {
 		return nil, err
 	}
@@ -199,11 +199,11 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 	if n == 0 {
 		return &DPResult{Sequence: seq.WithRows(nil), C: 0}, nil
 	}
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
 	}
-	maxErr := px.MaxError()
+	maxErr := kn.MaxError()
 	accept := acceptErrorBound(eps*maxErr, maxErr)
 
 	// Iterative deepening preserves the serial evaluator's early exit: a
@@ -211,7 +211,7 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 	// run keeps ≥ 1 tuple), so loose bounds that stop at small K never pay
 	// for full curves. Each failed round doubles K; the geometric growth
 	// bounds total work at a small constant of the final round's.
-	runs := decomposeRuns(px)
+	runs := decomposeRuns(kn)
 	R := len(runs)
 	for K := min(n, R+63); ; K = min(n, 2*K) {
 		if err := computeCurves(seq, runs, K-R+1, opts, workers); err != nil {
@@ -221,7 +221,7 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 		for k := R; k <= K; k++ {
 			if final[k] <= accept {
 				// Curves cover every size ≤ K, so k is the exact minimum.
-				rows, err := reconstructRuns(px, runs, choice, k)
+				rows, err := reconstructRuns(kn, runs, choice, k)
 				if err != nil {
 					return nil, err
 				}
@@ -246,13 +246,13 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 // always privately allocated, never taken from the worker's Scratch.
 func (rc *runCurve) compute(seq *temporal.Sequence, c int, opts Options) error {
 	sub := seq.WithRows(seq.Rows[rc.lo-1 : rc.hi])
-	px, err := NewPrefix(sub, opts)
+	kn, err := NewKernel(sub, opts)
 	if err != nil {
 		return err
 	}
 	q := rc.hi - rc.lo + 1
 	kmax := min(q, c)
-	st := newDPState(px, opts, true, true)
+	st := newDPState(kn, opts, true, true, true)
 	st.ownSplits = true
 	rc.curve = make([]float64, kmax)
 	for k := 1; k <= kmax; k++ {
@@ -266,12 +266,12 @@ func (rc *runCurve) compute(seq *temporal.Sequence, c int, opts Options) error {
 
 // reconstruct expands the run's optimal reduction to size k into rows,
 // using the global prefix for the merges (indices shifted to run space).
-func (rc *runCurve) reconstruct(px *Prefix, k int) []temporal.SeqRow {
+func (rc *runCurve) reconstruct(kn *CostKernel, k int) []temporal.SeqRow {
 	rows := make([]temporal.SeqRow, k)
 	hi := rc.hi - rc.lo + 1 // run-local 1-based end
 	for kk := k; kk >= 1; kk-- {
 		j := int(rc.splits[kk-1][hi])
-		rows[kk-1] = px.MergeRange(rc.lo+j, rc.lo+hi-1)
+		rows[kk-1] = kn.MergeRange(rc.lo+j, rc.lo+hi-1)
 		hi = j
 	}
 	return rows

@@ -76,14 +76,14 @@ func TestPrefixPropSSEMatchesNaive(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		seq := randomSequence(rng, 2+rng.Intn(12), 1+rng.Intn(3), 0)
-		px, err := NewPrefix(seq, Options{})
+		px, err := NewKernel(seq, Options{})
 		if err != nil {
 			return false
 		}
 		for i := 1; i <= seq.Len(); i++ {
 			for j := i; j <= seq.Len(); j++ {
 				want := naiveSSE(seq, i, j, px.w2)
-				got := px.SSERange(i, j)
+				got := px.MergeErr(i, j)
 				if math.Abs(got-want) > 1e-6*(1+want) {
 					return false
 				}
@@ -99,7 +99,7 @@ func TestPrefixPropSSEMatchesNaive(t *testing.T) {
 // bruteForceOptimal enumerates every contiguous partition of the sequence
 // into c blocks and returns the minimal total merge error — the semantics of
 // Definition 6 stated directly.
-func bruteForceOptimal(px *Prefix, c int) float64 {
+func bruteForceOptimal(px *CostKernel, c int) float64 {
 	n := px.N()
 	best := Inf
 	// splits[k] is the index (1-based, exclusive) where block k ends.
@@ -109,14 +109,14 @@ func bruteForceOptimal(px *Prefix, c int) float64 {
 			return
 		}
 		if blocksLeft == 1 {
-			e := px.SSEMergeAll(start, n)
+			e := px.MergeErrAll(start, n)
 			if acc+e < best {
 				best = acc + e
 			}
 			return
 		}
 		for end := start; end <= n-blocksLeft+1; end++ {
-			e := px.SSEMergeAll(start, end)
+			e := px.MergeErrAll(start, end)
 			if math.IsInf(e, 1) {
 				break // further extension keeps the gap
 			}
@@ -133,7 +133,7 @@ func TestPTAcPropOptimal(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		seq := randomSequence(rng, 2+rng.Intn(9), 1+rng.Intn(2), 0.25)
-		px, err := NewPrefix(seq, Options{})
+		px, err := NewKernel(seq, Options{})
 		if err != nil {
 			return false
 		}
@@ -262,7 +262,7 @@ func TestPTAePropMinimality(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		px, _ := NewPrefix(seq, Options{})
+		px, _ := NewKernel(seq, Options{})
 		bound := eps * px.MaxError()
 		wantC := seq.Len()
 		for k := 1; k <= seq.Len(); k++ {
@@ -500,7 +500,7 @@ func TestGMSErrorPropRespectsBound(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		seq := randomSequence(rng, 2+rng.Intn(25), 1, 0.2)
 		eps := rng.Float64()
-		px, _ := NewPrefix(seq, Options{})
+		px, _ := NewKernel(seq, Options{})
 		bound := eps * px.MaxError()
 		res, err := GMSError(seq, eps, Options{})
 		if err != nil {
@@ -615,7 +615,7 @@ func TestSampleEstimate(t *testing.T) {
 	if est.N != 199 {
 		t.Errorf("N = %d, want 199", est.N)
 	}
-	px, _ := NewPrefix(seq, Options{})
+	px, _ := NewKernel(seq, Options{})
 	if math.Abs(est.EMax-2*px.MaxError()) > 1e-6 {
 		t.Errorf("EMax = %v, want %v", est.EMax, 2*px.MaxError())
 	}

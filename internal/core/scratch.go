@@ -1,16 +1,37 @@
 package core
 
 // Scratch holds reusable evaluation buffers for the dynamic-programming
-// evaluators: the two rolling error-matrix rows and the split-point rows.
-// Reusing a Scratch across calls on similarly-sized inputs removes the
-// dominant per-call allocations, which matters when an engine serves many
-// compressions back to back.
+// evaluators: the two rolling error-matrix rows, the split-point rows, and
+// the cost kernel's flat prefix slabs. Reusing a Scratch across calls on
+// similarly-sized inputs removes the dominant per-call allocations, which
+// matters when an engine serves many compressions back to back.
 //
 // A Scratch serves one evaluation at a time — callers that evaluate
 // concurrently must pool instances (the public pta.ScratchPool does).
 type Scratch struct {
 	e1, e2 []float64
 	jrows  [][]int32
+	kslab  []float64 // kernel value/square-sum slabs, 2·p·(n+1)
+	klen   []int64   // kernel cumulative-length slab, n+1
+}
+
+// kernelSlabs returns the cost kernel's prefix slabs for a sequence of n
+// rows and p aggregate attributes, growing the backing arrays as needed:
+// two p·(n+1) float64 slabs (value and square sums) carved from one
+// contiguous allocation, and the n+1 cumulative lengths. Contents are
+// unspecified; NewKernel overwrites every cell it reads. The slabs stay
+// owned by the Scratch — a kernel built on them must not outlive the
+// evaluation (retained states build kernels without a Scratch).
+func (s *Scratch) kernelSlabs(n, p int) (sums, sqsums []float64, lens []int64) {
+	need := 2 * p * (n + 1)
+	if cap(s.kslab) < need {
+		s.kslab = make([]float64, need)
+	}
+	if cap(s.klen) < n+1 {
+		s.klen = make([]int64, n+1)
+	}
+	slab := s.kslab[:need]
+	return slab[: p*(n+1) : p*(n+1)], slab[p*(n+1):], s.klen[:n+1]
 }
 
 // eBuffers returns the two error-matrix row buffers with n+1 entries each,

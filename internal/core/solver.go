@@ -18,7 +18,7 @@ import (
 // serve-layer cache guards each entry with a mutex). The context travels per
 // call, so one cached Solver serves requests with different deadlines.
 type Solver struct {
-	px     *Prefix
+	kn     *CostKernel
 	st     *dpState
 	opts   Options   // construction options; Ctx is replaced per call
 	rowErr []float64 // rowErr[k] = E[k][n] for k = 1..filled
@@ -29,30 +29,32 @@ type Solver struct {
 
 // NewSolver builds a solver for the sequence with the given pruning flags
 // (PruneBoth semantics split into its two Section 5.3 bounds, matching
-// DPMulti). The options' Ctx and Scratch are ignored: rows must outlive any
-// single call, so the solver always owns its buffers.
+// DPMulti). Options.Fill selects the row-fill algorithm; every algorithm
+// fills bitwise-identical matrices, so cached solvers built with different
+// fills stay interchangeable. The options' Ctx and Scratch are ignored:
+// rows and kernel slabs must outlive any single call, so the solver always
+// owns its buffers.
 func NewSolver(seq *temporal.Sequence, opts Options, pruneI, pruneJ bool) (*Solver, error) {
 	if seq.Len() == 0 {
 		return nil, fmt.Errorf("core: solver over an empty relation")
 	}
 	opts.Ctx, opts.Scratch = nil, nil
-	px, err := NewPrefix(seq, opts)
+	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
 	}
-	st := newDPState(px, opts, true, true)
-	st.pruneI, st.pruneJ = pruneI, pruneJ
+	st := newDPState(kn, opts, pruneI, pruneJ, true)
 	st.ownSplits = true
 	return &Solver{
-		px:     px,
+		kn:     kn,
 		st:     st,
 		opts:   opts,
-		rowErr: make([]float64, px.N()+1),
+		rowErr: make([]float64, kn.N()+1),
 	}, nil
 }
 
 // N returns the input size n.
-func (sv *Solver) N() int { return sv.px.N() }
+func (sv *Solver) N() int { return sv.kn.N() }
 
 // Rows returns how many matrix rows have been filled so far.
 func (sv *Solver) Rows() int { return sv.filled }
@@ -65,7 +67,7 @@ func (sv *Solver) Stats() DPStats { return sv.st.stats }
 // MemBytes estimates the retained matrix memory: the split-point rows
 // dominate (one int32 per column per filled row).
 func (sv *Solver) MemBytes() int64 {
-	n := int64(sv.px.N() + 1)
+	n := int64(sv.kn.N() + 1)
 	return int64(sv.filled)*n*4 + // J rows
 		3*n*8 // prevE, curE, rowErr
 }
@@ -88,18 +90,18 @@ func (sv *Solver) ensure(ctx context.Context, k int) error {
 // SolveSize answers a size budget c: the minimal-error reduction to at most
 // c tuples, reusing every previously filled row.
 func (sv *Solver) SolveSize(ctx context.Context, c int) (*DPResult, error) {
-	n := sv.px.N()
-	if cmin := sv.px.CMin(); c < cmin {
+	n := sv.kn.N()
+	if cmin := sv.kn.CMin(); c < cmin {
 		return nil, &InfeasibleSizeError{C: c, CMin: cmin}
 	}
 	if c >= n {
-		return &DPResult{Sequence: sv.px.Sequence().Clone(), C: n, Stats: sv.st.stats}, nil
+		return &DPResult{Sequence: sv.kn.Sequence().Clone(), C: n, Stats: sv.st.stats}, nil
 	}
 	if err := sv.ensure(ctx, c); err != nil {
 		return nil, err
 	}
 	return &DPResult{
-		Sequence: sv.px.Sequence().WithRows(sv.st.reconstruct(c)),
+		Sequence: sv.kn.Sequence().WithRows(sv.st.reconstruct(c)),
 		C:        c,
 		Error:    sv.rowErr[c],
 		Stats:    sv.st.stats,
@@ -114,11 +116,11 @@ func (sv *Solver) SolveError(ctx context.Context, eps float64) (*DPResult, error
 		return nil, fmt.Errorf("core: error bound %v outside [0, 1]", eps)
 	}
 	if !sv.hasMax {
-		sv.bound = sv.px.MaxError()
+		sv.bound = sv.kn.MaxError()
 		sv.hasMax = true
 	}
 	bound := acceptErrorBound(eps*sv.bound, sv.bound)
-	n := sv.px.N()
+	n := sv.kn.N()
 	for k := 1; k <= n; k++ {
 		if k > sv.filled {
 			if err := sv.ensure(ctx, k); err != nil {
@@ -127,7 +129,7 @@ func (sv *Solver) SolveError(ctx context.Context, eps float64) (*DPResult, error
 		}
 		if sv.rowErr[k] <= bound {
 			return &DPResult{
-				Sequence: sv.px.Sequence().WithRows(sv.st.reconstruct(k)),
+				Sequence: sv.kn.Sequence().WithRows(sv.st.reconstruct(k)),
 				C:        k,
 				Error:    sv.rowErr[k],
 				Stats:    sv.st.stats,

@@ -224,3 +224,31 @@ func TestUniformDeterministic(t *testing.T) {
 		t.Error("same seed must reproduce")
 	}
 }
+
+func TestCounterShape(t *testing.T) {
+	seq, err := Counter(3, 40, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 120 {
+		t.Fatalf("len = %d, want 120", seq.Len())
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Values must be monotone non-decreasing within every group (the
+	// precondition the DP kernel certifies for the monotone row fills).
+	for i := 1; i < seq.Len(); i++ {
+		if seq.Rows[i].Group != seq.Rows[i-1].Group {
+			continue
+		}
+		for d := range seq.Rows[i].Aggs {
+			if seq.Rows[i].Aggs[d] < seq.Rows[i-1].Aggs[d] {
+				t.Fatalf("row %d dim %d decreases", i, d)
+			}
+		}
+	}
+	if _, err := Counter(0, 1, 1, 0); err == nil {
+		t.Error("invalid config must fail")
+	}
+}

@@ -185,3 +185,50 @@ func Uniform(groups, perGroup, p int, seed int64) (*temporal.Sequence, error) {
 	}
 	return seq, nil
 }
+
+// Counter synthesizes a cumulative-counter workload: per group and
+// dimension, values are running sums of non-negative uniform increments —
+// monotone non-decreasing within every maximal run, the shape of request
+// counters, cumulative sensor integrals and other accumulating telemetry.
+// Monotone runs are exactly the precondition under which the DP cost kernel
+// certifies the quadrangle inequality and the monotone row-fill algorithms
+// (FillDC/FillSMAWK) apply; the `fill` experiment sweeps them on this
+// dataset. Like Uniform, rows are unit-length and consecutive per group, so
+// the ITA result size equals the input size.
+func Counter(groups, perGroup, p int, seed int64) (*temporal.Sequence, error) {
+	if groups < 1 || perGroup < 1 || p < 1 {
+		return nil, fmt.Errorf("dataset: invalid counter config groups=%d perGroup=%d p=%d", groups, perGroup, p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, p)
+	for d := range names {
+		names[d] = fmt.Sprintf("a%02d", d+1)
+	}
+	var attrs []temporal.Attribute
+	if groups > 1 {
+		attrs = []temporal.Attribute{{Name: "grp", Kind: temporal.KindInt}}
+	}
+	seq := temporal.NewSequence(attrs, names)
+	for g := 0; g < groups; g++ {
+		var gid int32
+		if groups > 1 {
+			gid = seq.Groups.Intern([]temporal.Datum{temporal.Int(int64(g))})
+		} else {
+			gid = seq.Groups.Intern(nil)
+		}
+		totals := make([]float64, p)
+		for t := 0; t < perGroup; t++ {
+			vals := make([]float64, p)
+			for d := range vals {
+				totals[d] += rng.Float64() * 10
+				vals[d] = math.Round(totals[d]*100) / 100
+			}
+			seq.Rows = append(seq.Rows, temporal.SeqRow{
+				Group: gid,
+				Aggs:  vals,
+				T:     temporal.Inst(temporal.Chronon(t)),
+			})
+		}
+	}
+	return seq, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -48,7 +49,13 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = entry
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"strategies": out})
+	// Every exact DP strategy (the matrix-cacheable ones) accepts a pinned
+	// row-fill algorithm via the plan's fill_algo field; results are
+	// identical per value, so the list is global rather than per entry.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"strategies": out,
+		"fill_algos": pta.FillAlgoNames(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -183,12 +190,17 @@ func (s *Server) effectiveWeights(pw planWire) []float64 {
 // cacheKeyFor reports the matrix-cache key of one plan, and whether the plan
 // is cacheable at all: the strategy must be an exact DP and the plan must
 // not carry options the DP ignores anyway except weights (which are part of
-// the key, engine defaults included).
+// the key, engine defaults included) and a pinned fill algorithm (which
+// selects a per-algo DP class, so A/B arms never share entries).
 func (s *Server) cacheKeyFor(fingerprint string, pw planWire) (string, bool) {
 	if fingerprint == "" {
 		return "", false
 	}
-	class, ok := pta.DPClass(pw.Strategy)
+	fill, err := pta.ParseFillAlgo(pw.FillAlgo)
+	if err != nil {
+		return "", false
+	}
+	class, ok := pta.DPClassWith(pw.Strategy, fill)
 	if !ok || pw.ReadAhead != 0 {
 		return "", false
 	}
@@ -204,9 +216,13 @@ func resolvePlan(pw planWire) (pta.Plan, error) {
 	if err != nil {
 		return pta.Plan{}, badRequest(err)
 	}
+	fill, err := pta.ParseFillAlgo(pw.FillAlgo)
+	if err != nil {
+		return pta.Plan{}, badRequest(fmt.Errorf("plan: %w", err))
+	}
 	plan := pta.Plan{Strategy: pw.Strategy, Budget: b}
-	if pw.Weights != nil || pw.ReadAhead != 0 {
-		plan.Options = &pta.Options{Weights: pw.Weights, ReadAhead: pw.ReadAhead}
+	if pw.Weights != nil || pw.ReadAhead != 0 || fill != pta.FillAuto {
+		plan.Options = &pta.Options{Weights: pw.Weights, ReadAhead: pw.ReadAhead, FillAlgo: fill}
 	}
 	return plan, nil
 }
@@ -223,6 +239,7 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 			fingerprint = pta.Fingerprint(series)
 		}
 	}
+	fill, _ := pta.ParseFillAlgo(pw.FillAlgo) // validated by resolvePlan
 	key, cacheable := s.cacheKeyFor(fingerprint, pw)
 	if cacheable {
 		// The cache path answers through MatrixSet, which never consults
@@ -244,7 +261,8 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 	}
 	res, err := entry.compress(ctx, s.cache,
 		func() (*pta.MatrixSet, error) {
-			return pta.NewMatrixSet(series, pw.Strategy, pta.Options{Weights: s.effectiveWeights(pw)})
+			return pta.NewMatrixSet(series, pw.Strategy,
+				pta.Options{Weights: s.effectiveWeights(pw), FillAlgo: fill})
 		},
 		func(set *pta.MatrixSet) (*pta.Result, error) {
 			return set.Compress(ctx, plan.Budget)

@@ -51,6 +51,20 @@ func WithReadAhead(delta int) Option {
 	}
 }
 
+// WithFillAlgo sets the default exact-DP row-fill algorithm of the engine
+// (see FillAlgo; the zero value FillAuto picks by input size). Results are
+// identical for every selection — this is a performance knob and an A/B
+// hook, overridable per plan through Options.FillAlgo.
+func WithFillAlgo(a FillAlgo) Option {
+	return func(e *Engine) error {
+		if _, err := core.ParseFillAlgo(a.String()); err != nil {
+			return fmt.Errorf("pta: WithFillAlgo(%d): unknown algorithm", uint8(a))
+		}
+		e.opts.FillAlgo = a
+		return nil
+	}
+}
+
 // WithParallelism sets how many worker goroutines group-parallel evaluation
 // may use: 1 (the default) evaluates serially, n > 1 decomposes eligible
 // strategies over maximal adjacent runs — aggregation groups compress
@@ -163,6 +177,11 @@ func (e *Engine) planOptions(p Plan) Options {
 	if opts.Weights == nil {
 		opts.Weights = e.opts.Weights
 	}
+	if opts.FillAlgo == FillAuto {
+		// FillAuto means "pick for me": an override that says nothing about
+		// the fill keeps the engine-level WithFillAlgo choice.
+		opts.FillAlgo = e.opts.FillAlgo
+	}
 	return opts
 }
 
@@ -253,13 +272,14 @@ func (e *Engine) Compress(ctx context.Context, s *Series, p Plan) (*Result, erro
 }
 
 // CompressMany evaluates several plans over the same series, amortizing
-// shared work: plans that resolve to the same exact dynamic program — same
+// shared work at two levels: every exact-DP plan without per-plan option
+// overrides shares one CostKernel build (the prefix slabs of the series),
+// and plans that additionally resolve to the same dynamic program — same
 // pruning flags, so "ptac" and "ptae" plans pool together, in any order —
-// and carry no per-plan option overrides share one filling of the error
-// and split-point matrices (one pass serves every budget — the cheap way
-// to serve multiple resolutions of one series). Other plans evaluate
-// individually. Results align with plans; the first failure aborts the
-// call.
+// share one filling of the error and split-point matrices (one pass serves
+// every budget — the cheap way to serve multiple resolutions of one
+// series). Other plans evaluate individually. Results align with plans;
+// the first failure aborts the call.
 func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -276,7 +296,7 @@ func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*
 	// both at once.
 	type dpKey struct{ pruneI, pruneJ bool }
 	groups := map[dpKey][]int{}
-	if e.workers() == 1 || s.CMin() <= 1 {
+	if (e.workers() == 1 || s.CMin() <= 1) && s.Len() > 0 {
 		for i, p := range plans {
 			ev, err := e.resolve(p.Strategy, p.Budget)
 			if err != nil {
@@ -294,53 +314,74 @@ func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*
 			groups[key] = append(groups[key], i)
 		}
 	}
-	for key, indices := range groups {
-		if len(indices) < 2 {
-			delete(groups, key) // nothing to amortize
-		}
-	}
 
 	done := make([]bool, len(plans))
-	for key, g := range groups {
-		budgets := make([]core.MultiBudget, len(g))
-		for j, i := range g {
-			b := plans[i].Budget
-			if b.Kind() == BudgetSize {
-				budgets[j] = core.MultiBudget{C: b.C()}
-			} else {
-				budgets[j] = core.MultiBudget{Eps: b.Eps()}
+	if len(groups) > 0 {
+		// One kernel serves every group: singleton groups still skip a
+		// prefix build, and groups of two or more plans share the matrix
+		// pass on top of it.
+		scratch := e.pool.acquire()
+		released := false
+		release := func() {
+			if !released {
+				released = true
+				e.pool.release(scratch)
 			}
 		}
-		scratch := e.pool.acquire()
+		defer release()
 		opts := e.opts
 		opts.scratch = scratch
-		dpResults, err := core.DPMulti(s, budgets, opts.coreOptionsCtx(ctx), key.pruneI, key.pruneJ)
-		e.pool.release(scratch)
+		copts := opts.coreOptionsCtx(ctx)
+		kernel, err := core.NewKernel(s, copts)
 		if err != nil {
-			// Attribute the failure to the plan that caused it (an
-			// infeasible size bound names its c), or to the group head.
-			blame := plans[g[0]]
-			var inf *core.InfeasibleSizeError
-			if errors.As(err, &inf) {
-				for _, i := range g {
-					if b := plans[i].Budget; b.Kind() == BudgetSize && b.C() == inf.C {
-						blame = plans[i]
-						break
-					}
-				}
+			var blame Plan
+			for _, g := range groups {
+				blame = plans[g[0]]
+				break
 			}
 			_, ferr := e.finish(blame, nil, err)
 			return nil, ferr
 		}
-		for j, i := range g {
-			dres, derr := fromDP(dpResults[j], nil)
-			res, err := e.finish(plans[i], dres, derr)
-			if err != nil {
-				return nil, err
+		for key, g := range groups {
+			budgets := make([]core.MultiBudget, len(g))
+			for j, i := range g {
+				b := plans[i].Budget
+				if b.Kind() == BudgetSize {
+					budgets[j] = core.MultiBudget{C: b.C()}
+				} else {
+					budgets[j] = core.MultiBudget{Eps: b.Eps()}
+				}
 			}
-			results[i] = res
-			done[i] = true
+			dpResults, err := core.DPMultiKernel(kernel, budgets, copts, key.pruneI, key.pruneJ)
+			if err != nil {
+				// Attribute the failure to the plan that caused it (an
+				// infeasible size bound names its c), or to the group head.
+				blame := plans[g[0]]
+				var inf *core.InfeasibleSizeError
+				if errors.As(err, &inf) {
+					for _, i := range g {
+						if b := plans[i].Budget; b.Kind() == BudgetSize && b.C() == inf.C {
+							blame = plans[i]
+							break
+						}
+					}
+				}
+				_, ferr := e.finish(blame, nil, err)
+				return nil, ferr
+			}
+			for j, i := range g {
+				dres, derr := fromDP(dpResults[j], nil)
+				res, err := e.finish(plans[i], dres, derr)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = res
+				done[i] = true
+			}
 		}
+		// The kernel and its pooled slabs are unused from here on; return
+		// the scratch so the fallback loop's Compress calls can reuse it.
+		release()
 	}
 
 	for i, p := range plans {

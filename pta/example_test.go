@@ -129,3 +129,30 @@ func ExampleEngine_CompressStream() {
 	// Output:
 	// streamed down to 4 tuples (4 pushed), max heap 6
 }
+
+// ExampleSeriesFromMDTA aggregates the running example over user-defined
+// MDTA groups — per-project halves of the time span — and compresses the
+// result, the bridge from reference [4]'s flexible grouping to PTA.
+func ExampleSeriesFromMDTA() {
+	rel := dataset.Proj()
+	query := pta.MDTAQuery{
+		GroupBy: []string{"Proj"},
+		Aggs:    []ita.AggSpec{{Func: ita.Avg, Attr: "Sal", As: "AvgSal"}},
+	}
+	combos, err := pta.MDTAValueCombos(rel, query.GroupBy)
+	if err != nil {
+		panic(err)
+	}
+	spans := []pta.Interval{{Start: 1, End: 4}, {Start: 5, End: 8}}
+	series, err := pta.SeriesFromMDTA(rel, query, pta.MDTASpanSpecs(combos, spans))
+	if err != nil {
+		panic(err)
+	}
+	res, err := pta.Compress(series, "ptac", pta.Size(3), pta.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d mdta rows compressed to %d\n", series.Len(), res.C)
+	// Output:
+	// 4 mdta rows compressed to 3
+}

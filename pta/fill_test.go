@@ -1,0 +1,161 @@
+package pta_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/temporal"
+	"repro/pta"
+)
+
+// fillSeries builds a small two-group series with a counter-like ramp, the
+// shape the kernel certifies for the monotone fills.
+func fillSeries(t *testing.T) *pta.Series {
+	t.Helper()
+	s := pta.NewSeries([]pta.Attribute{{Name: "g", Kind: temporal.KindString}}, []string{"v"})
+	for gi, g := range []string{"a", "b"} {
+		gid := s.Groups.Intern([]temporal.Datum{temporal.String(g)})
+		base := 10 + 190*float64(gi)
+		for i := 0; i < 24; i++ {
+			v := base + float64(i*i) // convex ramp: monotone, distinct costs
+			s.Rows = append(s.Rows, pta.Row{Group: gid, Aggs: []float64{v},
+				T: pta.Interval{Start: pta.Chronon(i * 2), End: pta.Chronon(i*2 + 1)}})
+		}
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFillAlgoResultsIdentical: the same plan evaluated under every fill
+// algorithm — engine default via pta.WithFillAlgo and per-plan override via
+// pta.Options.FillAlgo — returns identical reductions.
+func TestFillAlgoResultsIdentical(t *testing.T) {
+	s := fillSeries(t)
+	ctx := context.Background()
+	base, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := pta.Plan{Strategy: "ptac", Budget: pta.Size(7)}
+	want, err := base.Compress(ctx, s, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []pta.FillAlgo{pta.FillPruned, pta.FillDC, pta.FillSMAWK} {
+		eng, err := pta.New(pta.WithFillAlgo(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Compress(ctx, s, plan)
+		if err != nil {
+			t.Fatalf("algo %v: %v", algo, err)
+		}
+		if got.C != want.C || math.Float64bits(got.Error) != math.Float64bits(want.Error) ||
+			!reflect.DeepEqual(got.Series.Rows, want.Series.Rows) {
+			t.Fatalf("algo %v: result diverged (C=%d err=%v, want C=%d err=%v)",
+				algo, got.C, got.Error, want.C, want.Error)
+		}
+		override := plan
+		override.Options = &pta.Options{FillAlgo: algo}
+		got, err = base.Compress(ctx, s, override)
+		if err != nil {
+			t.Fatalf("override %v: %v", algo, err)
+		}
+		if got.C != want.C || !reflect.DeepEqual(got.Series.Rows, want.Series.Rows) {
+			t.Fatalf("override %v: result diverged", algo)
+		}
+	}
+}
+
+// TestDPClassWith covers the per-algo cache classes: pta.FillAuto keeps the
+// shared class, pinned algorithms split it, non-DP strategies have none.
+func TestDPClassWith(t *testing.T) {
+	shared, ok := pta.DPClass("ptac")
+	if !ok || shared != "dp+imax+jmin" {
+		t.Fatalf("pta.DPClass(ptac) = %q, %v", shared, ok)
+	}
+	if auto, _ := pta.DPClassWith("ptac", pta.FillAuto); auto != shared {
+		t.Errorf("pta.FillAuto class %q != pta.DPClass %q", auto, shared)
+	}
+	seen := map[string]bool{shared: true}
+	for _, algo := range []pta.FillAlgo{pta.FillPruned, pta.FillDC, pta.FillSMAWK} {
+		class, ok := pta.DPClassWith("ptae", algo)
+		if !ok {
+			t.Fatalf("pta.DPClassWith(ptae, %v) not cacheable", algo)
+		}
+		if !strings.HasPrefix(class, shared+"/fill=") || seen[class] {
+			t.Errorf("class %q for %v: want distinct %q/fill=... classes", class, algo, shared)
+		}
+		seen[class] = true
+	}
+	if _, ok := pta.DPClassWith("gms", pta.FillDC); ok {
+		t.Error("gms must not be matrix-cacheable")
+	}
+}
+
+// TestMatrixSetClassReflectsFill: a set built with a pinned algorithm
+// carries the per-algo class and answers budgets identically to the engine.
+func TestMatrixSetClassReflectsFill(t *testing.T) {
+	s := fillSeries(t)
+	ctx := context.Background()
+	set, err := pta.NewMatrixSet(s, "ptac", pta.Options{FillAlgo: pta.FillSMAWK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := pta.DPClassWith("ptac", pta.FillSMAWK); set.Class() != want {
+		t.Fatalf("Class() = %q, want %q", set.Class(), want)
+	}
+	got, err := set.Compress(ctx, pta.Size(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pta.Compress(s, "ptac", pta.Size(6), pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.C != want.C || math.Float64bits(got.Error) != math.Float64bits(want.Error) ||
+		!reflect.DeepEqual(got.Series.Rows, want.Series.Rows) {
+		t.Fatal("pinned-fill matrix set diverged from the engine result")
+	}
+}
+
+// TestCompressManySharedKernel: a mixed batch — two DP classes plus a
+// non-DP strategy — returns exactly the per-plan Compress results (the
+// shared-kernel amortization must be invisible).
+func TestCompressManySharedKernel(t *testing.T) {
+	s := fillSeries(t)
+	ctx := context.Background()
+	eng, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []pta.Plan{
+		{Strategy: "ptac", Budget: pta.Size(8)},
+		{Strategy: "ptae", Budget: pta.ErrorBound(0.05)},
+		{Strategy: "dpbasic", Budget: pta.Size(6)},
+		{Strategy: "gms", Budget: pta.Size(8)},
+		{Strategy: "ptac", Budget: pta.Size(5)},
+	}
+	got, err := eng.CompressMany(ctx, s, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		want, err := eng.Compress(ctx, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].C != want.C || !reflect.DeepEqual(got[i].Series.Rows, want.Series.Rows) {
+			t.Fatalf("plan %d (%s %v): CompressMany diverged from Compress", i, p.Strategy, p.Budget)
+		}
+		if got[i].Strategy != p.Strategy {
+			t.Fatalf("plan %d: stamped strategy %q", i, got[i].Strategy)
+		}
+	}
+}

@@ -49,6 +49,17 @@ func dpFlags(strategy string) (pruneI, pruneJ, ok bool) {
 // not an exact dynamic program (greedy, streaming, amnesic, baselines):
 // their evaluations are not matrix-cacheable.
 func DPClass(strategy string) (string, bool) {
+	return DPClassWith(strategy, FillAuto)
+}
+
+// DPClassWith is DPClass for an explicit row-fill algorithm: requests that
+// pin an algorithm (the serve codec's fill_algo, Options.FillAlgo) key
+// their cached matrices per algorithm — "dp+imax+jmin/fill=smawk" — so an
+// A/B experiment never mixes entries between arms, while the default
+// FillAuto keeps the shared "dp+imax+jmin" class. Every algorithm fills
+// bit-identical matrices, so the split is a bookkeeping guarantee, not a
+// correctness requirement.
+func DPClassWith(strategy string, fill FillAlgo) (string, bool) {
 	pruneI, pruneJ, ok := dpFlags(strategy)
 	if !ok {
 		return "", false
@@ -60,15 +71,19 @@ func DPClass(strategy string) (string, bool) {
 	if pruneJ {
 		class += "+jmin"
 	}
+	if fill != FillAuto {
+		class += "/fill=" + fill.String()
+	}
 	return class, true
 }
 
 // NewMatrixSet builds a warm matrix set for the series under the named
 // exact-DP strategy ("ptac", "ptae", "dpbasic" or an ablation mode; see
-// DPClass). Options supply the error weights; ReadAhead/Estimate/Amnesic do
-// not apply to exact DP and are ignored. The series must be non-empty, and
-// the caller must not mutate it while the set is alive — the matrices
-// describe the rows as they were.
+// DPClass). Options supply the error weights and the row-fill algorithm
+// (FillAlgo; the class reflects a pinned algorithm, see DPClassWith);
+// ReadAhead/Estimate/Amnesic do not apply to exact DP and are ignored. The
+// series must be non-empty, and the caller must not mutate it while the set
+// is alive — the matrices describe the rows as they were.
 func NewMatrixSet(s *Series, strategy string, opts Options) (*MatrixSet, error) {
 	pruneI, pruneJ, ok := dpFlags(strategy)
 	if !ok {
@@ -81,7 +96,7 @@ func NewMatrixSet(s *Series, strategy string, opts Options) (*MatrixSet, error) 
 	if err != nil {
 		return nil, fmt.Errorf("pta: %s: %w", strategy, err)
 	}
-	class, _ := DPClass(strategy)
+	class, _ := DPClassWith(strategy, opts.FillAlgo)
 	return &MatrixSet{strategy: strategy, class: class, sv: sv}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -122,7 +123,9 @@ func FormatStrategies(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	_, err := fmt.Fprintf(w, "\nexact DP strategies accept a row-fill algorithm (%s): identical results,\ndifferent speed — pin one via pta.WithFillAlgo / Options.FillAlgo / the fill_algo plan field\n",
+		strings.Join(FillAlgoNames(), "|"))
+	return err
 }
 
 // Describe returns the registry as sorted StrategyInfo records.
