@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -48,6 +49,58 @@ func BenchmarkSSERange8D(b *testing.B) {
 		sink += px.MergeErr(1+(i%5000), 5001+(i%5000))
 	}
 	_ = sink
+}
+
+// BenchmarkMergeErr measures the merge-cost kernel across attribute widths:
+// p = 1 takes the dedicated scalar fast path, p ∈ {2, 3, 4} the dedicated
+// straight-line paths, and p ≥ 5 the four-wide unrolled loop over the
+// dimension-major slabs. The range closure variant is what the DP row fills
+// actually call per candidate.
+func BenchmarkMergeErr(b *testing.B) {
+	for _, p := range []int{1, 2, 3, 4, 8, 12} {
+		seq := benchSequence(10000, p, 0)
+		px, err := NewKernel(seq, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("method/p=%d", p), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += px.MergeErr(1+(i%5000), 5001+(i%5000))
+			}
+			_ = sink
+		})
+		rerr := px.rangeErr()
+		b.Run(fmt.Sprintf("closure/p=%d", p), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += rerr(1+(i%5000), 5001+(i%5000))
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMergeErrShort measures the kernel on short ranges (the shape the
+// pruned scan's early exit produces: a handful of rows per merge), where
+// call overhead and load latency dominate over the per-dimension loop.
+func BenchmarkMergeErrShort(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		seq := benchSequence(10000, p, 0)
+		px, err := NewKernel(seq, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rerr := px.rangeErr()
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				base := 1 + (i % 9000)
+				sink += rerr(base, base+1+(i%7))
+			}
+			_ = sink
+		})
+	}
 }
 
 func BenchmarkDissimilarity(b *testing.B) {

@@ -51,6 +51,7 @@ type dpState struct {
 	stats          DPStats
 
 	rerr      func(i, j int) float64 // kernel merge-cost hot path
+	segs      []int32                // monotone fills: piecewise-monotone segment starts
 	rightGap  []int32                // monotone fills: rightmostGapBefore per position
 	smawkArg  []int32                // FillSMAWK: per-cell argmins of the current row
 	smawkBuf  []int32                // FillSMAWK: column-list arena (see smawkCarve)
@@ -74,11 +75,16 @@ func newDPState(kn *CostKernel, opts Options, pruneI, pruneJ, storeSplits bool) 
 		algo = FillPruned
 	}
 	algo = algo.resolve(kn.N())
-	if algo != FillPruned && !kn.MonotoneRuns() {
-		// The monotone fills are only exact when the kernel certifies the
-		// quadrangle inequality (per-run monotone values); on oscillating
-		// data split points are not monotone and the scan must run.
-		algo = FillPruned
+	var segs []int32
+	if algo != FillPruned {
+		// The monotone fills are only exact inside certified monotone
+		// segments (the quadrangle inequality genuinely fails across a
+		// direction change); dispatch is per segment, and when no segment is
+		// long enough for the dispatch to engage the scan runs outright.
+		if segs = kn.MonotoneSegments(); kn.MonotoneCoverage() == 0 {
+			algo = FillPruned
+			segs = nil
+		}
 	}
 	st := &dpState{
 		kn:          kn,
@@ -89,6 +95,7 @@ func newDPState(kn *CostKernel, opts Options, pruneI, pruneJ, storeSplits bool) 
 		algo:        algo,
 		storeSplits: storeSplits,
 		rerr:        kn.rangeErr(),
+		segs:        segs,
 	}
 	if sc := opts.Scratch; sc != nil {
 		st.prevE, st.curE = sc.eBuffers(kn.N())

@@ -12,21 +12,28 @@ import "fmt"
 //     early exit (the merge cost grows as the split moves left, so the scan
 //     stops once it alone exceeds the best total). Worst case O(n) per
 //     cell, O(n²) per row; in practice often far less.
-//   - FillDC exploits that on counter-like series — per-run monotone
-//     values, certified by CostKernel.MonotoneRuns — the weighted SSE
-//     merge cost satisfies the concave quadrangle inequality, so optimal
-//     split points are monotone across a row: divide and conquer over the
-//     row evaluates O(n log n) candidates per row.
+//   - FillDC exploits that inside a monotone segment — a maximal stretch
+//     with per-dimension monotone values, certified piecewise by
+//     CostKernel.MonotoneSegments — the weighted SSE merge cost satisfies
+//     the concave quadrangle inequality, so optimal in-segment split
+//     points are monotone across the segment's cells: divide and conquer
+//     evaluates O(m log m) in-segment candidates for a segment of m cells.
 //   - FillSMAWK applies the SMAWK row-minima algorithm to the same
-//     totally monotone candidate matrix: O(n) candidate evaluations per
-//     row, the asymptotic optimum.
+//     totally monotone candidate matrix: O(m) candidate evaluations per
+//     segment, the asymptotic optimum.
 //
-// On series the kernel cannot certify, FillDC and FillSMAWK fall back to
-// the scan (the quadrangle inequality genuinely fails on oscillating
-// values, so a monotone fill would return suboptimal rows there); results
-// are therefore identical for every selection on every input. FillAuto
-// (the zero value) picks FillPruned below fillAutoThreshold rows and
-// FillDC at or above it — except for the pruning-ablation modes, whose
+// Dispatch is per segment, not all-or-nothing: every row's cells are
+// partitioned by the kernel's piecewise-monotone segmentation, segments of
+// at least fillSegmentMin rows run the selected monotone fill over their
+// in-segment candidates and then complete each cell with the pruned scan
+// over the remaining out-of-segment candidates (where the quadrangle
+// inequality genuinely fails — e.g. values 0, 100, 0 — but the scan's
+// early exit usually stops after one boundary probe), and shorter segments
+// scan outright. Mixed-shape series therefore get the monotone speedup on
+// their monotone stretches instead of losing it to a single direction
+// change; results are identical for every selection on every input.
+// FillAuto (the zero value) picks FillPruned below fillAutoThreshold rows
+// and FillDC at or above it — except for the pruning-ablation modes, whose
 // scan-work measurements auto never replaces.
 type FillAlgo uint8
 
@@ -49,6 +56,15 @@ const (
 // and recursion off inputs too small to care. The `fill` experiment records
 // the trajectory.
 const fillAutoThreshold = 256
+
+// fillSegmentMin is the smallest monotone segment the per-segment dispatch
+// hands to a monotone fill; shorter segments use the pruned scan for their
+// cells. The monotone fills win asymptotically, so the bound only keeps
+// recursion/arena setup and the per-cell completion probe off stretches too
+// short to repay them — oscillating noise decomposes into segments of two
+// or three rows, which the scan handles in as many candidate evaluations.
+// CostKernel.MonotoneCoverage reports the row fraction above this bound.
+const fillSegmentMin = 16
 
 // String names the algorithm; the names round-trip through ParseFillAlgo.
 func (a FillAlgo) String() string {
@@ -102,31 +118,46 @@ func (a FillAlgo) resolve(n int) FillAlgo {
 //
 //	E[k][i] = min_j E[k−1][j] + w(j+1, i),   J[k][i] = the LARGEST argmin,
 //
-// where w is the merge cost (Inf across gaps). When the kernel certifies
-// per-run monotone values (MonotoneRuns), w satisfies the concave
-// quadrangle inequality within every run — for split candidates j < j′ and
-// cells i < i′ of one run,
+// where w is the merge cost (Inf across gaps). Inside a certified monotone
+// segment [a, b] (CostKernel.MonotoneSegments), w satisfies the concave
+// quadrangle inequality — for split candidates j < j′ and cells i < i′
+// whose merges stay inside the segment,
 //
 //	w(j+1, i) + w(j′+1, i′) ≤ w(j+1, i′) + w(j′+1, i)
 //
 // (the weighted sorted 1-D k-means Monge property) — so the candidate
-// matrix M[i][j] = E[k−1][j] + w(j+1, i) is totally monotone: if a right
-// candidate is at least as good as a left one at some cell, it stays at
-// least as good at every later cell. The rightmost argmin is therefore
-// non-decreasing in i, which is exactly the tie-break the pruned scan
-// applies (it scans right to left and keeps the first strict improvement),
-// so the monotone fills reproduce its E and J rows bit for bit.
+// matrix M[i][j] = E[k−1][j] + w(j+1, i) restricted to the segment's cells
+// i ∈ [a, b] and its in-segment candidates j ∈ [a−1, i−1] is totally
+// monotone (the E[k−1][j] term is column-constant, so it cannot break the
+// inequality; an Inf from an infeasible prefix is column-constant too): if
+// a right candidate is at least as good as a left one at some cell, it
+// stays at least as good at every later cell. The rightmost in-segment
+// argmin is therefore non-decreasing in i, which is exactly the tie-break
+// the pruned scan applies (it scans right to left and keeps the first
+// strict improvement), so the monotone fills reproduce the scan's
+// in-segment minima bit for bit.
 //
-// Gaps integrate into the same framework: a merge cost across a gap is Inf,
-// and those Inf cells persist downward (the rightmost gap before i is
-// non-decreasing in i), which preserves total monotonicity across run
-// boundaries — every all-finite comparison quadruple lies inside one run,
-// where the certified inequality applies. Both fills therefore restrict
-// each cell's candidate window to [max(k−1, rightmostGapBefore(i)), i−1] —
-// the Section 5.3 jmin bound — and cap the cell range at the k-th gap — the
-// imax bound — unconditionally: outside those bounds every candidate is
-// infinite, so the produced rows are identical for every PruneMode (only
-// the scan's work differs across ablation modes).
+// Each cell's remaining candidates — split points left of the segment,
+// j ∈ [max(k−1, rightmostGapBefore(i)), a−2] — are completed by the same
+// right-to-left pruned scan afterwards (completeSegment): the merge cost
+// w(j+1, i) still grows as j moves left (SSE over a superset of rows), so
+// the Jagadish early exit applies even where the quadrangle inequality does
+// not, and in practice the boundary probe stops after a handful of
+// candidates. Completion replaces a cell only on strict improvement, and
+// every out-of-segment candidate lies left of every in-segment one, so the
+// rightmost-argmin convention survives the merge; all candidate values are
+// ≥ +0 and computed by the shared kernel arithmetic, so the combined
+// minimum is bitwise-identical to the full scan's.
+//
+// Gaps integrate into the same framework: segments never span a gap, a
+// merge cost across a gap is Inf, and those Inf cells persist downward (the
+// rightmost gap before i is non-decreasing in i). Both fills therefore
+// restrict each cell's candidate window to
+// [max(k−1, rightmostGapBefore(i)), i−1] — the Section 5.3 jmin bound — and
+// cap the cell range at the k-th gap — the imax bound — unconditionally:
+// outside those bounds every candidate is infinite, so the produced rows
+// are identical for every PruneMode (only the scan's work differs across
+// ablation modes).
 
 // ensureRightGap materializes rightmostGapBefore(i) for every position so
 // the monotone fills resolve candidate windows in O(1) under random access.
@@ -168,20 +199,155 @@ func (st *dpState) pollFill(evals int) error {
 	return st.opts.canceled()
 }
 
-// --- monotone divide and conquer ---
+// --- per-segment dispatch ---
 
-// fillRowDC fills row k ≥ 2 by divide and conquer over the cells: solve the
-// middle cell by scanning its candidate window, then recurse left and right
-// with the window split at the middle's argmin. O(n log n) candidate
-// evaluations per row.
+// fillRowDC fills row k ≥ 2 with the monotone divide-and-conquer fill,
+// dispatched per certified segment.
 func (st *dpState) fillRowDC(k, imax int, jrow []int32) error {
+	return st.fillRowSegmented(k, imax, jrow, false)
+}
+
+// fillRowSMAWK fills row k ≥ 2 with the SMAWK row-minima fill, dispatched
+// per certified segment.
+func (st *dpState) fillRowSMAWK(k, imax int, jrow []int32) error {
+	return st.fillRowSegmented(k, imax, jrow, true)
+}
+
+// fillRowSegmented walks the kernel's piecewise-monotone segmentation over
+// the row's cells [k, imax]: segments of at least fillSegmentMin rows run
+// the selected monotone fill over their in-segment candidates and then
+// complete every cell with the out-of-segment scan; shorter segments scan
+// outright. On fully monotone data (one segment per run) the completion
+// windows are empty and this reduces to a whole-row monotone fill.
+func (st *dpState) fillRowSegmented(k, imax int, jrow []int32, useSMAWK bool) error {
 	imax = st.effectiveIMax(k, imax)
 	if k > imax {
 		return nil
 	}
 	st.ensureRightGap()
-	return st.dcSolve(k, k, imax, k-1, imax-1, jrow)
+	segs := st.segs
+	for t, start := range segs {
+		a := int(start)
+		b := st.n
+		if t+1 < len(segs) {
+			b = int(segs[t+1]) - 1
+		}
+		if b < k {
+			continue
+		}
+		if a > imax {
+			break
+		}
+		ilo, ihi := max(k, a), min(imax, b)
+		if b-a+1 < fillSegmentMin {
+			// Eligibility goes by the full segment length, not the visited
+			// slice, so a row's dispatch never depends on its k/imax bounds.
+			if err := st.fillScanRange(k, ilo, ihi, jrow); err != nil {
+				return err
+			}
+			continue
+		}
+		if useSMAWK {
+			if err := st.segSMAWK(k, a, ilo, ihi, jrow); err != nil {
+				return err
+			}
+		} else {
+			if err := st.dcSolve(k, ilo, ihi, max(k-1, a-1), ihi-1, jrow); err != nil {
+				return err
+			}
+		}
+		if err := st.completeSegment(k, a, ilo, ihi, jrow); err != nil {
+			return err
+		}
+	}
+	return nil
 }
+
+// fillScanRange fills cells ilo..ihi of row k with the pruned candidate
+// scan under the monotone fills' conventions: the jmin/imax gap bounds
+// apply unconditionally (outside them every candidate is infinite, so the
+// produced cells are identical for every PruneMode) and rightGap is
+// resolved from the materialized table. It serves the segments too short
+// for a monotone fill to repay its setup.
+func (st *dpState) fillScanRange(k, ilo, ihi int, jrow []int32) error {
+	rerr := st.rerr
+	prevE := st.prevE
+	for i := ilo; i <= ihi; i++ {
+		st.stats.Cells++
+		jmin := max(k-1, int(st.rightGap[i]))
+		best := Inf
+		bestJ := int32(0)
+		inner := 0
+		for j := i - 1; j >= jmin; j-- {
+			inner++
+			err2 := rerr(j+1, i)
+			if v := prevE[j] + err2; v < best {
+				best = v
+				bestJ = int32(j)
+			}
+			// err2 grows as j decreases; once it alone exceeds the best
+			// total, no smaller j can win (Jagadish et al.).
+			if err2 > best {
+				break
+			}
+		}
+		st.stats.InnerIters += int64(inner)
+		st.curE[i] = best
+		if jrow != nil {
+			jrow[i] = bestJ
+		}
+		if err := st.pollFill(inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// completeSegment finishes cells ilo..ihi of the segment starting at a: the
+// monotone fill compared only in-segment candidates j ≥ a−1, so the
+// remaining window [max(k−1, rightmostGapBefore(i)), a−2] is scanned right
+// to left with the usual early exit, replacing a cell only on strict
+// improvement (every out-of-segment candidate lies left of the in-segment
+// argmin, so the rightmost-argmin convention is preserved). When the
+// segment starts its run the window is empty and the loop falls through.
+// The cells were already counted by the monotone fill; only the extra
+// candidate evaluations land in InnerIters.
+func (st *dpState) completeSegment(k, a, ilo, ihi int, jrow []int32) error {
+	rerr := st.rerr
+	prevE := st.prevE
+	evals := 0
+	for i := ilo; i <= ihi; i++ {
+		jmin := max(k-1, int(st.rightGap[i]))
+		if a-2 < jmin {
+			continue
+		}
+		best := st.curE[i]
+		bestJ := int32(-1)
+		for j := a - 2; j >= jmin; j-- {
+			evals++
+			err2 := rerr(j+1, i)
+			if v := prevE[j] + err2; v < best {
+				best = v
+				bestJ = int32(j)
+			}
+			// err2 grows as j decreases (SSE over a superset of rows); once
+			// it alone exceeds the best total, no smaller j can win.
+			if err2 > best {
+				break
+			}
+		}
+		if bestJ >= 0 {
+			st.curE[i] = best
+			if jrow != nil {
+				jrow[i] = bestJ
+			}
+		}
+	}
+	st.stats.InnerIters += int64(evals)
+	return st.pollFill(evals)
+}
+
+// --- monotone divide and conquer ---
 
 // dcSolve fills cells ilo..ihi with candidate split points clamped to
 // [jlo, jhi] (further clamped per cell by its own jmin window).
@@ -262,34 +428,34 @@ func (st *dpState) smawkCarve(capacity int) []int32 {
 	return s
 }
 
-// fillRowSMAWK fills row k ≥ 2 with the SMAWK algorithm over the totally
-// monotone candidate matrix: O(n) candidate evaluations per row.
-func (st *dpState) fillRowSMAWK(k, imax int, jrow []int32) error {
-	imax = st.effectiveIMax(k, imax)
-	if k > imax {
-		return nil
-	}
-	st.ensureRightGap()
+// segSMAWK runs the SMAWK algorithm over one certified segment's totally
+// monotone candidate matrix: cells ilo..ihi, in-segment candidate columns
+// max(k−1, a−1)..ihi−1 (the two counts are always equal). O(m) candidate
+// evaluations for a segment of m cells; the column arena is reset per
+// segment, so a row fill stays allocation-free once the arena has grown to
+// the largest segment.
+func (st *dpState) segSMAWK(k, a, ilo, ihi int, jrow []int32) error {
 	if st.smawkArg == nil {
 		st.smawkArg = make([]int32, st.n+1)
 	}
-	n := imax - k + 1 // cells k..imax, candidate columns k-1..imax-1
-	if need := 3 * (n + 1); cap(st.smawkBuf) < need {
+	m := ihi - ilo + 1
+	if need := 3 * (m + 1); cap(st.smawkBuf) < need {
 		st.smawkBuf = make([]int32, need)
 	}
 	st.smawkOff = 0
-	cols := st.smawkCarve(n)
-	for t := 0; t < n; t++ {
-		cols = append(cols, int32(k-1+t))
+	cols := st.smawkCarve(m)
+	jlo := max(k-1, a-1)
+	for t := 0; t < m; t++ {
+		cols = append(cols, int32(jlo+t))
 	}
-	if err := st.smawk(k, 1, n, cols); err != nil {
+	if err := st.smawk(ilo, 1, m, cols); err != nil {
 		return err
 	}
-	st.stats.Cells += int64(n)
+	st.stats.Cells += int64(m)
 	// smawk wrote minima and argmins directly; copy argmins out when the
-	// caller keeps split rows.
+	// caller keeps split rows (completeSegment may still override them).
 	if jrow != nil {
-		copy(jrow[k:imax+1], st.smawkArg[k:imax+1])
+		copy(jrow[ilo:ihi+1], st.smawkArg[ilo:ihi+1])
 	}
 	return nil
 }

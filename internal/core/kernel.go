@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/temporal"
 )
@@ -36,7 +37,13 @@ type CostKernel struct {
 	l    []int64   // [n+1]
 	gaps []int     // 1-based positions l with s_l ⊀ s_{l+1}, ascending
 
-	monotoneState uint8 // MonotoneRuns cache: 0 unknown, 1 certified, 2 violated
+	// Piecewise-monotone certification (MonotoneSegments), computed at most
+	// once. The sync.Once makes lazy certification safe when one kernel is
+	// shared across goroutines (DPMultiKernel serves every plan group of a
+	// CompressMany from a single kernel; retained Solver kernels live in
+	// caches): after the Once completes, monoSegs is immutable.
+	monoOnce sync.Once
+	monoSegs []int32 // ascending 1-based segment start positions; nil until computed
 }
 
 // NewKernel validates the sequence and the options and builds the cost
@@ -126,17 +133,110 @@ func (kn *CostKernel) MergeErr(i, j int) float64 {
 }
 
 // mergeErrWide is the general multi-attribute merge cost, kept out of
-// MergeErr so the p = 1 fast path stays small.
+// MergeErr so the p = 1 fast path stays small. Small widths take dedicated
+// straight-line paths (most multi-attribute queries carry two to four
+// aggregates); the general loop is unrolled four wide over the
+// dimension-major slabs. The rangeErr closures below inline the same
+// arithmetic in the same order, so every consumer computes identical bits.
 func (kn *CostKernel) mergeErrWide(i, j int) float64 {
-	length := float64(kn.l[j] - kn.l[i-1])
-	stride := kn.n + 1
-	var sse float64
-	for d := 0; d < kn.p; d++ {
-		base := d * stride
-		sv := kn.s[base+j] - kn.s[base+i-1]
-		sse += kn.w2[d] * (kn.ss[base+j] - kn.ss[base+i-1] - sv*sv/length)
+	switch kn.p {
+	case 2:
+		return kn.mergeErr2(i, j)
+	case 3:
+		return kn.mergeErr3(i, j)
+	case 4:
+		return kn.mergeErr4(i, j)
 	}
-	// Guard against tiny negative residues from cancellation.
+	return kn.mergeErrN(i, j)
+}
+
+// mergeErr2 is the dedicated p = 2 merge cost: both slabs hoisted, no loop.
+func (kn *CostKernel) mergeErr2(i, j int) float64 {
+	stride := kn.n + 1
+	il := i - 1
+	length := float64(kn.l[j] - kn.l[il])
+	s0, ss0 := kn.s[:stride], kn.ss[:stride]
+	s1, ss1 := kn.s[stride:2*stride], kn.ss[stride:2*stride]
+	sv0 := s0[j] - s0[il]
+	sv1 := s1[j] - s1[il]
+	sse := kn.w2[0]*(ss0[j]-ss0[il]-sv0*sv0/length) +
+		kn.w2[1]*(ss1[j]-ss1[il]-sv1*sv1/length)
+	if sse < 0 {
+		// Guard against tiny negative residues from cancellation.
+		return 0
+	}
+	return sse
+}
+
+// mergeErr3 is the dedicated p = 3 merge cost.
+func (kn *CostKernel) mergeErr3(i, j int) float64 {
+	stride := kn.n + 1
+	il := i - 1
+	length := float64(kn.l[j] - kn.l[il])
+	s0, ss0 := kn.s[:stride], kn.ss[:stride]
+	s1, ss1 := kn.s[stride:2*stride], kn.ss[stride:2*stride]
+	s2, ss2 := kn.s[2*stride:3*stride], kn.ss[2*stride:3*stride]
+	sv0 := s0[j] - s0[il]
+	sv1 := s1[j] - s1[il]
+	sv2 := s2[j] - s2[il]
+	sse := kn.w2[0]*(ss0[j]-ss0[il]-sv0*sv0/length) +
+		kn.w2[1]*(ss1[j]-ss1[il]-sv1*sv1/length) +
+		kn.w2[2]*(ss2[j]-ss2[il]-sv2*sv2/length)
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}
+
+// mergeErr4 is the dedicated p = 4 merge cost.
+func (kn *CostKernel) mergeErr4(i, j int) float64 {
+	stride := kn.n + 1
+	il := i - 1
+	length := float64(kn.l[j] - kn.l[il])
+	s0, ss0 := kn.s[:stride], kn.ss[:stride]
+	s1, ss1 := kn.s[stride:2*stride], kn.ss[stride:2*stride]
+	s2, ss2 := kn.s[2*stride:3*stride], kn.ss[2*stride:3*stride]
+	s3, ss3 := kn.s[3*stride:4*stride], kn.ss[3*stride:4*stride]
+	sv0 := s0[j] - s0[il]
+	sv1 := s1[j] - s1[il]
+	sv2 := s2[j] - s2[il]
+	sv3 := s3[j] - s3[il]
+	sse := kn.w2[0]*(ss0[j]-ss0[il]-sv0*sv0/length) +
+		kn.w2[1]*(ss1[j]-ss1[il]-sv1*sv1/length) +
+		kn.w2[2]*(ss2[j]-ss2[il]-sv2*sv2/length) +
+		kn.w2[3]*(ss3[j]-ss3[il]-sv3*sv3/length)
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}
+
+// mergeErrN is the p ≥ 5 merge cost: four independent accumulators over a
+// four-wide unrolled pass across the dimension-major slabs, so consecutive
+// iterations carry no dependency chain and the slab loads pipeline.
+func (kn *CostKernel) mergeErrN(i, j int) float64 {
+	stride := kn.n + 1
+	il := i - 1
+	length := float64(kn.l[j] - kn.l[il])
+	s, ss, w2 := kn.s, kn.ss, kn.w2
+	var a0, a1, a2, a3 float64
+	d, base := 0, 0
+	for ; d+4 <= kn.p; d, base = d+4, base+4*stride {
+		b0, b1, b2, b3 := base, base+stride, base+2*stride, base+3*stride
+		sv0 := s[b0+j] - s[b0+il]
+		sv1 := s[b1+j] - s[b1+il]
+		sv2 := s[b2+j] - s[b2+il]
+		sv3 := s[b3+j] - s[b3+il]
+		a0 += w2[d] * (ss[b0+j] - ss[b0+il] - sv0*sv0/length)
+		a1 += w2[d+1] * (ss[b1+j] - ss[b1+il] - sv1*sv1/length)
+		a2 += w2[d+2] * (ss[b2+j] - ss[b2+il] - sv2*sv2/length)
+		a3 += w2[d+3] * (ss[b3+j] - ss[b3+il] - sv3*sv3/length)
+	}
+	for ; d < kn.p; d, base = d+1, base+stride {
+		sv := s[base+j] - s[base+il]
+		a0 += w2[d] * (ss[base+j] - ss[base+il] - sv*sv/length)
+	}
+	sse := (a0 + a1) + (a2 + a3)
 	if sse < 0 {
 		return 0
 	}
@@ -144,12 +244,16 @@ func (kn *CostKernel) mergeErrWide(i, j int) float64 {
 }
 
 // rangeErr returns the merge-cost closure of the row-fill hot loops: the
-// slab slices and the weight are hoisted into locals once per row fill, so
+// slab slices and the weights are hoisted into locals once per row fill, so
 // the per-candidate evaluation is branch-light flat-slice arithmetic with
-// the bounds checks lifted out of the inner loop.
+// the bounds checks lifted out of the inner loop. Each closure computes the
+// exact expression of the matching mergeErr* method (same operand order),
+// keeping MergeErr and the fills bitwise-consistent.
 func (kn *CostKernel) rangeErr() func(i, j int) float64 {
-	if kn.p == 1 {
-		s, ss, l, w20 := kn.s[:kn.n+1], kn.ss[:kn.n+1], kn.l[:kn.n+1], kn.w2[0]
+	stride := kn.n + 1
+	switch kn.p {
+	case 1:
+		s, ss, l, w20 := kn.s[:stride], kn.ss[:stride], kn.l[:stride], kn.w2[0]
 		return func(i, j int) float64 {
 			if i == j {
 				return 0
@@ -162,76 +266,196 @@ func (kn *CostKernel) rangeErr() func(i, j int) float64 {
 			}
 			return e
 		}
+	case 2:
+		l := kn.l[:stride]
+		s0, ss0 := kn.s[:stride], kn.ss[:stride]
+		s1, ss1 := kn.s[stride:2*stride], kn.ss[stride:2*stride]
+		w20, w21 := kn.w2[0], kn.w2[1]
+		return func(i, j int) float64 {
+			if i == j {
+				return 0
+			}
+			il := i - 1
+			length := float64(l[j] - l[il])
+			sv0 := s0[j] - s0[il]
+			sv1 := s1[j] - s1[il]
+			sse := w20*(ss0[j]-ss0[il]-sv0*sv0/length) +
+				w21*(ss1[j]-ss1[il]-sv1*sv1/length)
+			if sse < 0 {
+				return 0
+			}
+			return sse
+		}
+	case 3:
+		l := kn.l[:stride]
+		s0, ss0 := kn.s[:stride], kn.ss[:stride]
+		s1, ss1 := kn.s[stride:2*stride], kn.ss[stride:2*stride]
+		s2, ss2 := kn.s[2*stride:3*stride], kn.ss[2*stride:3*stride]
+		w20, w21, w22 := kn.w2[0], kn.w2[1], kn.w2[2]
+		return func(i, j int) float64 {
+			if i == j {
+				return 0
+			}
+			il := i - 1
+			length := float64(l[j] - l[il])
+			sv0 := s0[j] - s0[il]
+			sv1 := s1[j] - s1[il]
+			sv2 := s2[j] - s2[il]
+			sse := w20*(ss0[j]-ss0[il]-sv0*sv0/length) +
+				w21*(ss1[j]-ss1[il]-sv1*sv1/length) +
+				w22*(ss2[j]-ss2[il]-sv2*sv2/length)
+			if sse < 0 {
+				return 0
+			}
+			return sse
+		}
+	case 4:
+		l := kn.l[:stride]
+		s0, ss0 := kn.s[:stride], kn.ss[:stride]
+		s1, ss1 := kn.s[stride:2*stride], kn.ss[stride:2*stride]
+		s2, ss2 := kn.s[2*stride:3*stride], kn.ss[2*stride:3*stride]
+		s3, ss3 := kn.s[3*stride:4*stride], kn.ss[3*stride:4*stride]
+		w20, w21, w22, w23 := kn.w2[0], kn.w2[1], kn.w2[2], kn.w2[3]
+		return func(i, j int) float64 {
+			if i == j {
+				return 0
+			}
+			il := i - 1
+			length := float64(l[j] - l[il])
+			sv0 := s0[j] - s0[il]
+			sv1 := s1[j] - s1[il]
+			sv2 := s2[j] - s2[il]
+			sv3 := s3[j] - s3[il]
+			sse := w20*(ss0[j]-ss0[il]-sv0*sv0/length) +
+				w21*(ss1[j]-ss1[il]-sv1*sv1/length) +
+				w22*(ss2[j]-ss2[il]-sv2*sv2/length) +
+				w23*(ss3[j]-ss3[il]-sv3*sv3/length)
+			if sse < 0 {
+				return 0
+			}
+			return sse
+		}
 	}
 	return func(i, j int) float64 {
 		if i == j {
 			return 0
 		}
-		return kn.mergeErrWide(i, j)
+		return kn.mergeErrN(i, j)
 	}
 }
 
-// MonotoneRuns reports whether, within every maximal gap-free run and for
-// every aggregate dimension independently, the values are monotone
-// (non-decreasing or non-increasing) — the shape of cumulative counters,
-// ramping gauges and other accumulating series. Under this precondition the
-// weighted merge cost satisfies the concave quadrangle inequality
+// MonotoneSegments returns the piecewise-monotone segmentation of the
+// sequence: the ascending 1-based start positions of maximal segments within
+// which every aggregate dimension is monotone (non-decreasing or
+// non-increasing, directions independent per dimension). Segmentation is
+// greedy left to right — a segment extends until some dimension reverses the
+// direction it established inside the segment — and every gap position also
+// starts a new segment, so each segment lies inside one maximal gap-free
+// run.
+//
+// Inside one segment the weighted merge cost satisfies the concave
+// quadrangle inequality
 //
 //	MergeErr(a, e₁) + MergeErr(b, e₂) ≤ MergeErr(a, e₂) + MergeErr(b, e₁)
 //
-// for a ≤ b ≤ e₁ ≤ e₂ inside one run (the classical sorted 1-D k-means
-// Monge property), which makes DP split points monotone across a row and
-// unlocks the FillDC/FillSMAWK row fills. On oscillating data the
-// inequality genuinely fails (e.g. values 0, 100, 0), so the monotone fills
-// consult this certificate and fall back to the scan when it does not hold.
-// The answer is computed once per kernel and cached; like every kernel
-// method it must not be called concurrently with itself.
-func (kn *CostKernel) MonotoneRuns() bool {
-	if kn.monotoneState == 0 {
-		kn.monotoneState = 2
-		if kn.computeMonotone() {
-			kn.monotoneState = 1
-		}
-	}
-	return kn.monotoneState == 1
+// for a ≤ b ≤ e₁ ≤ e₂ with all merges contained in the segment (the
+// classical sorted 1-D k-means Monge property, summed over dimensions), so
+// the DP candidate matrix restricted to a segment's cells and in-segment
+// split points is totally monotone and the FillDC/FillSMAWK row fills apply
+// there; across a segment boundary the inequality genuinely fails (e.g.
+// values 0, 100, 0), which is why the fills complete each cell with a
+// pruned scan over the out-of-segment candidates (see fill.go).
+//
+// The segmentation is computed at most once per kernel under a sync.Once,
+// so, unlike most kernel methods, MonotoneSegments (and MonotoneRuns /
+// MonotoneCoverage) is safe to call from concurrent goroutines sharing one
+// kernel. Callers must not mutate the returned slice.
+func (kn *CostKernel) MonotoneSegments() []int32 {
+	kn.monoOnce.Do(kn.computeSegments)
+	return kn.monoSegs
 }
 
-func (kn *CostKernel) computeMonotone() bool {
+// MonotoneRuns reports whether every maximal gap-free run is monotone in
+// every dimension as a whole — the shape of cumulative counters and other
+// accumulating series, and the strongest certificate: the monotone row
+// fills then apply to entire rows. Equivalent to the piecewise segmentation
+// having exactly one segment per run.
+func (kn *CostKernel) MonotoneRuns() bool {
+	kn.monoOnce.Do(kn.computeSegments)
 	if kn.n == 0 {
 		return true
 	}
+	return len(kn.monoSegs) == len(kn.gaps)+1
+}
+
+// MonotoneCoverage reports the fraction of rows lying inside monotone
+// segments long enough for the per-segment fill dispatch to engage (see
+// fillSegmentMin) — the share of the series that gets the monotone-fill
+// speedup. 1.0 on counter-like data, 0.0 on pure oscillating noise.
+func (kn *CostKernel) MonotoneCoverage() float64 {
+	kn.monoOnce.Do(kn.computeSegments)
+	if kn.n == 0 {
+		return 0
+	}
+	covered := 0
+	for si, start := range kn.monoSegs {
+		end := kn.n
+		if si+1 < len(kn.monoSegs) {
+			end = int(kn.monoSegs[si+1]) - 1
+		}
+		if m := end - int(start) + 1; m >= fillSegmentMin {
+			covered += m
+		}
+	}
+	return float64(covered) / float64(kn.n)
+}
+
+// computeSegments materializes the piecewise-monotone segmentation (1-based
+// segment starts). Runs once per kernel under monoOnce.
+func (kn *CostKernel) computeSegments() {
+	if kn.n == 0 {
+		kn.monoSegs = []int32{}
+		return
+	}
 	rows := kn.seq.Rows
-	check := func(lo, hi int) bool { // 0-based inclusive row range of one run
-		for d := 0; d < kn.p; d++ {
-			dir := 0
-			prev := rows[lo].Aggs[d]
-			for r := lo + 1; r <= hi; r++ {
-				v := rows[r].Aggs[d]
+	dirs := make([]int8, kn.p)
+	segs := make([]int32, 0, len(kn.gaps)+1)
+	segment := func(lo, hi int) { // 0-based inclusive row range of one run
+		segs = append(segs, int32(lo+1))
+		clear(dirs)
+		for r := lo + 1; r <= hi; r++ {
+			split := false
+			for d := 0; d < kn.p && !split; d++ {
+				prev, v := rows[r-1].Aggs[d], rows[r].Aggs[d]
 				switch {
 				case v > prev:
-					if dir < 0 {
-						return false
+					if dirs[d] < 0 {
+						split = true
 					}
-					dir = 1
+					dirs[d] = 1
 				case v < prev:
-					if dir > 0 {
-						return false
+					if dirs[d] > 0 {
+						split = true
 					}
-					dir = -1
+					dirs[d] = -1
 				}
-				prev = v
+			}
+			if split {
+				// Rows r−1 and r cannot share a segment: r starts a new one
+				// and directions reset (the pair across the boundary
+				// establishes nothing inside the new segment).
+				segs = append(segs, int32(r+1))
+				clear(dirs)
 			}
 		}
-		return true
 	}
 	start := 0
 	for _, g := range kn.gaps {
-		if !check(start, g-1) {
-			return false
-		}
+		segment(start, g-1)
 		start = g
 	}
-	return check(start, kn.n-1)
+	segment(start, kn.n-1)
+	kn.monoSegs = segs
 }
 
 // HasGap reports whether the run s_i..s_j (1-based, inclusive) contains at

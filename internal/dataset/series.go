@@ -186,6 +186,77 @@ func Uniform(groups, perGroup, p int, seed int64) (*temporal.Sequence, error) {
 	return seq, nil
 }
 
+// Mixed synthesizes a mixed-shape workload: per group, cumulative-counter
+// ramps (monotone non-decreasing running sums, blocks of 40–99 rows)
+// interleaved with short blocks of strictly alternating oscillation around
+// the current counter level (6–15 rows) — the shape of real telemetry where
+// accumulating meters are punctuated by resets, retries or noisy intervals.
+// A whole-run monotonicity certificate fails on every group, but the
+// piecewise certification (CostKernel.MonotoneSegments) recovers the ramps:
+// MonotoneCoverage sits around the ramp share (~0.8), so the monotone row
+// fills engage on most rows while the noise falls back to the pruned scan.
+// Like Counter, rows are unit-length and consecutive per group, so the ITA
+// result size equals the input size.
+func Mixed(groups, perGroup, p int, seed int64) (*temporal.Sequence, error) {
+	if groups < 1 || perGroup < 1 || p < 1 {
+		return nil, fmt.Errorf("dataset: invalid mixed config groups=%d perGroup=%d p=%d", groups, perGroup, p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, p)
+	for d := range names {
+		names[d] = fmt.Sprintf("a%02d", d+1)
+	}
+	var attrs []temporal.Attribute
+	if groups > 1 {
+		attrs = []temporal.Attribute{{Name: "grp", Kind: temporal.KindInt}}
+	}
+	seq := temporal.NewSequence(attrs, names)
+	for g := 0; g < groups; g++ {
+		var gid int32
+		if groups > 1 {
+			gid = seq.Groups.Intern([]temporal.Datum{temporal.Int(int64(g))})
+		} else {
+			gid = seq.Groups.Intern(nil)
+		}
+		totals := make([]float64, p)
+		ramp := true
+		left := 40 + rng.Intn(60)
+		sign := 1.0
+		for t := 0; t < perGroup; t++ {
+			if left == 0 {
+				if ramp = !ramp; ramp {
+					left = 40 + rng.Intn(60)
+				} else {
+					left = 6 + rng.Intn(10)
+					sign = 1.0
+				}
+			}
+			left--
+			vals := make([]float64, p)
+			if ramp {
+				for d := range vals {
+					totals[d] += rng.Float64() * 10
+					vals[d] = math.Round(totals[d]*100) / 100
+				}
+			} else {
+				// Strictly alternating excursions around the counter level:
+				// every dimension flips direction on every row, so no two
+				// consecutive noise pairs extend a monotone segment.
+				for d := range vals {
+					vals[d] = math.Round((totals[d]+sign*(5+rng.Float64()*20))*100) / 100
+				}
+				sign = -sign
+			}
+			seq.Rows = append(seq.Rows, temporal.SeqRow{
+				Group: gid,
+				Aggs:  vals,
+				T:     temporal.Inst(temporal.Chronon(t)),
+			})
+		}
+	}
+	return seq, nil
+}
+
 // Counter synthesizes a cumulative-counter workload: per group and
 // dimension, values are running sums of non-negative uniform increments —
 // monotone non-decreasing within every maximal run, the shape of request

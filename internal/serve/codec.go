@@ -21,6 +21,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 
 	"repro/internal/temporal"
 	"repro/pta"
@@ -198,7 +201,11 @@ func encodeDatum(d temporal.Datum) any {
 	}
 }
 
-// encodeResult packages a facade result with its cache disposition.
+// encodeResult packages a facade result with its cache disposition. It is
+// the reference implementation of the result wire format: the hot handlers
+// encode through appendResult instead (same bytes, no reflection, no
+// allocation), and TestAppendResultMatchesEncodingJSON pins the two to each
+// other.
 func encodeResult(res *pta.Result, cache string) resultWire {
 	rows := make([]rowWire, len(res.Series.Rows))
 	for i, r := range res.Series.Rows {
@@ -232,6 +239,194 @@ func encodeResult(res *pta.Result, cache string) resultWire {
 		},
 		Rows: rows,
 	}
+}
+
+// --- allocation-free result encoding ---
+//
+// The compress handlers answer cache hits without filling a single matrix
+// cell, so on the hot path the response encoding used to dominate the
+// allocation profile: encoding/json walks resultWire reflectively and
+// allocates per row. appendResult renders the identical bytes (field order,
+// omitempty behavior, float and string formatting) straight into a pooled
+// byte buffer — zero allocations per request once the pool is warm.
+
+// codecBufPool recycles response-body buffers across requests. Buffers that
+// grew beyond codecBufMax (a giant series) are dropped instead of pooled so
+// one outlier does not pin its worst-case footprint forever.
+var codecBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+const codecBufMax = 1 << 20
+
+// appendResult appends the JSON of one compression outcome, byte-identical
+// to encoding/json over encodeResult(res, cache) with HTML escaping off.
+func appendResult(b []byte, res *pta.Result, cache string) []byte {
+	b = append(b, `{"strategy":`...)
+	b = appendJSONString(b, res.Strategy)
+	b = append(b, `,"budget":`...)
+	b = appendJSONString(b, res.Budget.String())
+	b = append(b, `,"c":`...)
+	b = strconv.AppendInt(b, int64(res.C), 10)
+	b = append(b, `,"error":`...)
+	b = appendJSONFloat(b, res.Error)
+	if cache != "" {
+		b = append(b, `,"cache":`...)
+		b = appendJSONString(b, cache)
+	}
+	b = append(b, `,"stats":{`...)
+	b = appendStatField(b, `"cells":`, res.Stats.Cells)
+	b = appendStatField(b, `"inner_iters":`, res.Stats.InnerIters)
+	b = appendStatField(b, `"merges":`, int64(res.Stats.Merges))
+	b = appendStatField(b, `"max_heap":`, int64(res.Stats.MaxHeap))
+	b = appendStatField(b, `"read_ahead":`, int64(res.Stats.ReadAhead))
+	b = append(b, `},"rows":[`...)
+	for i := range res.Series.Rows {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendRow(b, res.Series, &res.Series.Rows[i])
+	}
+	return append(b, `]}`...)
+}
+
+// appendStatField appends one omitempty stats field (name includes the
+// quoted key and colon); zero values are omitted like the statsWire tags.
+func appendStatField(b []byte, name string, v int64) []byte {
+	if v == 0 {
+		return b
+	}
+	if b[len(b)-1] != '{' {
+		b = append(b, ',')
+	}
+	b = append(b, name...)
+	return strconv.AppendInt(b, v, 10)
+}
+
+// appendRow appends one rowWire: group (omitted when the series has no
+// grouping attributes), aggs, start, end.
+func appendRow(b []byte, s *pta.Series, r *pta.Row) []byte {
+	b = append(b, '{')
+	if vals := s.Groups.Values(r.Group); len(vals) > 0 {
+		b = append(b, `"group":[`...)
+		for j, v := range vals {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = appendDatum(b, v)
+		}
+		b = append(b, `],`...)
+	}
+	b = append(b, `"aggs":[`...)
+	for j, v := range r.Aggs {
+		if j > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONFloat(b, v)
+	}
+	b = append(b, `],"start":`...)
+	b = strconv.AppendInt(b, int64(r.T.Start), 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendInt(b, int64(r.T.End), 10)
+	return append(b, '}')
+}
+
+// appendDatum appends one group value, preserving the domain like
+// encodeDatum.
+func appendDatum(b []byte, d temporal.Datum) []byte {
+	switch d.Kind() {
+	case temporal.KindInt:
+		return strconv.AppendInt(b, d.IntVal(), 10)
+	case temporal.KindFloat:
+		return appendJSONFloat(b, d.FloatVal())
+	}
+	return appendJSONString(b, d.Text())
+}
+
+// appendJSONFloat appends a float64 with encoding/json's exact formatting:
+// shortest 'f' form normally, 'e' form with a cleaned exponent for very
+// small or very large magnitudes. Non-finite values (which encoding/json
+// refuses, truncating the response mid-body) render as null — strictly more
+// useful to a client than a broken body.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return append(b, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims a zero-padded exponent: 1e-07 → 1e-7.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a quoted JSON string with encoding/json's
+// escaping rules under SetEscapeHTML(false): quote, backslash and control
+// characters are escaped (\b, \f, \n, \r, \t short forms, \u00xx otherwise),
+// invalid UTF-8 becomes U+FFFD, and the JavaScript line separators U+2028
+// and U+2029 are escaped; everything else is copied verbatim in spans.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', byte('8'+r-'\u2028'))
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
 }
 
 // decodeJSON strictly decodes one JSON value from the request body,

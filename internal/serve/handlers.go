@@ -106,7 +106,9 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, encodeResult(res, disposition))
+	writePooledJSON(w, http.StatusOK, func(b []byte) []byte {
+		return appendResult(b, res, disposition)
+	})
 }
 
 func (s *Server) handleCompressMany(w http.ResponseWriter, r *http.Request) {
@@ -142,7 +144,11 @@ func (s *Server) handleCompressMany(w http.ResponseWriter, r *http.Request) {
 	// plans fall through to one Engine.CompressMany call, which amortizes
 	// whatever the engine can.
 	fingerprint := pta.Fingerprint(series)
-	results := make([]resultWire, len(req.Plans))
+	type resultEntry struct {
+		res         *pta.Result
+		disposition string
+	}
+	results := make([]resultEntry, len(req.Plans))
 	var enginePlans []pta.Plan
 	var engineIdx []int
 	for i, pw := range req.Plans {
@@ -161,7 +167,7 @@ func (s *Server) handleCompressMany(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, err)
 			return
 		}
-		results[i] = encodeResult(res, disposition)
+		results[i] = resultEntry{res, disposition}
 	}
 	if len(enginePlans) > 0 {
 		engineResults, err := s.engine.CompressMany(ctx, series, enginePlans)
@@ -171,10 +177,19 @@ func (s *Server) handleCompressMany(w http.ResponseWriter, r *http.Request) {
 		}
 		s.compressions.Add(int64(len(engineResults)))
 		for j, res := range engineResults {
-			results[engineIdx[j]] = encodeResult(res, cacheBypass)
+			results[engineIdx[j]] = resultEntry{res, cacheBypass}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	writePooledJSON(w, http.StatusOK, func(b []byte) []byte {
+		b = append(b, `{"results":[`...)
+		for i, e := range results {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendResult(b, e.res, e.disposition)
+		}
+		return append(b, `]}`...)
+	})
 }
 
 // effectiveWeights mirrors the engine's planOptions semantics: a plan
@@ -327,11 +342,29 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	writeJSON(w, status, map[string]any{"error": body})
 }
 
-// writeJSON renders one response body.
+// writeJSON renders one response body through encoding/json; the cold
+// endpoints (errors, stats, strategies) keep the reflective encoder, the
+// compress hot paths go through writePooledJSON instead.
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(body) // the status line is out; encoding errors only affect the body
+}
+
+// writePooledJSON renders one response body into a pooled buffer filled by
+// encode (appendResult and friends) and writes it in a single Write call,
+// with the trailing newline json.Encoder clients already expect. The buffer
+// returns to the pool unless it grew beyond codecBufMax.
+func writePooledJSON(w http.ResponseWriter, status int, encode func(b []byte) []byte) {
+	bp := codecBufPool.Get().(*[]byte)
+	b := append(encode((*bp)[:0]), '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(b)
+	if cap(b) <= codecBufMax {
+		*bp = b[:0]
+		codecBufPool.Put(bp)
+	}
 }

@@ -258,6 +258,21 @@ func MaxError(s *Series, opts Options) (float64, error) {
 	return px.MaxError(), nil
 }
 
+// MonotoneCoverage reports the fraction of the series' rows lying inside
+// piecewise-monotone segments long enough for the exact DP's monotone row
+// fills (FillDC/FillSMAWK) to engage — 1.0 on counter-like data, 0.0 on
+// pure oscillating noise. It predicts how much of an evaluation runs at the
+// monotone fills' O(n log n)/O(n) per-row cost instead of the pruned scan's;
+// results are bit-identical either way. The weights only validate (the
+// segmentation is weight-independent).
+func MonotoneCoverage(s *Series, opts Options) (float64, error) {
+	px, err := core.NewKernel(s, opts.coreOptions())
+	if err != nil {
+		return 0, err
+	}
+	return px.MonotoneCoverage(), nil
+}
+
 // SSE returns the sum-squared error between a series and a reduction of it
 // (Definition 5), matching aggregation groups by value.
 func SSE(s, z *Series, opts Options) (float64, error) {
