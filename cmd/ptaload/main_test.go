@@ -1,0 +1,92 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/pta"
+)
+
+// loadTestServer mounts a real serve.Server on an httptest listener.
+func loadTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunColdWarmAgainstLiveServer drives the full benchmark against an
+// in-process daemon and checks the report invariants the CI smoke step
+// relies on: the cold phase is all misses, the warm phase has hits, and
+// -require-hits is satisfied.
+func TestRunColdWarmAgainstLiveServer(t *testing.T) {
+	ts := loadTestServer(t)
+	logger := log.New(io.Discard, "", 0)
+	opts := options{
+		base: ts.URL, series: 3, rows: 64, workers: 2,
+		warmRounds: 2, timeout: 30 * time.Second, requireHits: true,
+	}
+	rep, err := run(opts, logger)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Cold.Requests != 3 || rep.Cold.Errors != 0 {
+		t.Errorf("cold phase: %+v", rep.Cold)
+	}
+	if rep.Cold.Misses != 3 || rep.Cold.Hits != 0 {
+		t.Errorf("cold phase should be all misses: %+v", rep.Cold)
+	}
+	// 2 rounds × 3 series × 3 plans.
+	if rep.Warm.Requests != 18 || rep.Warm.Errors != 0 {
+		t.Errorf("warm phase: %+v", rep.Warm)
+	}
+	// Every warm plan resolves against the cold-filled matrix (size and
+	// error budgets share one DP class per series), minus at most one
+	// first-round miss per series if the class ever splits. 15/18 floor.
+	if rep.Warm.Hits < 15 {
+		t.Errorf("warm hits = %d, want >= 15", rep.Warm.Hits)
+	}
+	if rep.HitRatio < 0.8 {
+		t.Errorf("hit ratio = %v, want >= 0.8", rep.HitRatio)
+	}
+	if rep.Warm.P99MS < rep.Warm.P50MS {
+		t.Errorf("p99 %v < p50 %v", rep.Warm.P99MS, rep.Warm.P50MS)
+	}
+	if rep.Cold.RPS <= 0 || rep.Warm.RPS <= 0 {
+		t.Errorf("rps cold=%v warm=%v, want > 0", rep.Cold.RPS, rep.Warm.RPS)
+	}
+}
+
+// TestRunUnreachableTarget: a dead target must error on the health probe,
+// before any phase runs.
+func TestRunUnreachableTarget(t *testing.T) {
+	_, err := run(options{
+		base: "http://127.0.0.1:1", series: 1, rows: 64, workers: 1,
+		warmRounds: 1, timeout: time.Second,
+	}, log.New(io.Discard, "", 0))
+	if err == nil {
+		t.Fatal("run succeeded against an unreachable target")
+	}
+}
+
+// TestRunValidation rejects degenerate workload shapes.
+func TestRunValidation(t *testing.T) {
+	if _, err := run(options{series: 0, rows: 64}, log.New(io.Discard, "", 0)); err == nil {
+		t.Error("series=0 accepted")
+	}
+	if _, err := run(options{series: 1, rows: 4}, log.New(io.Discard, "", 0)); err == nil {
+		t.Error("rows=4 accepted")
+	}
+}

@@ -8,16 +8,21 @@
 //	POST /v1/compress       one series, one plan
 //	POST /v1/compress/many  one series, several plans (amortized)
 //	GET  /v1/strategies     the strategy registry
-//	GET  /v1/stats          cache and request counters
+//	GET  /v1/stats          cache, admission, spill and request counters
+//	GET  /metrics           Prometheus text-format exposition
 //	GET  /healthz           liveness
 //
-// SIGINT/SIGTERM drain in-flight requests and exit 0 (graceful shutdown), so
-// process managers can roll the daemon without dropping evaluations.
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) and exit 0
+// (graceful shutdown), so process managers can roll the daemon without
+// dropping evaluations. With -spill-dir, warm DP matrices persist across
+// restarts: a relaunched daemon answers previously-warm series as cache
+// hits immediately.
 //
 // Example session:
 //
-//	ptaserve -addr :8080 -parallel 4 &
+//	ptaserve -addr :8080 -parallel 4 -spill-dir /var/cache/ptaserve &
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/v1/compress -d @request.json
 package main
 
@@ -36,41 +41,62 @@ import (
 	"repro/pta"
 )
 
+// options carries every flag so tests drive run() without a flag set.
+type options struct {
+	addr      string
+	parallel  int
+	cache     int
+	timeout   time.Duration
+	maxBody   int64
+	inflight  int
+	drain     time.Duration
+	spillDir  string
+	maxCells  int64
+	admission string
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port, :0 picks a free port)")
-		parallel = flag.Int("parallel", 1, "engine worker goroutines for group-parallel strategies (0 = all cores)")
-		cache    = flag.Int("cache", 64, "matrix cache capacity in entries")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline (requests may tighten it with timeout_ms)")
-		maxBody  = flag.Int64("max-body", 8<<20, "request body limit in bytes")
-		inflight = flag.Int("inflight", 0, "max concurrently evaluated compressions (0 = 2×GOMAXPROCS)")
-	)
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address (host:port, :0 picks a free port)")
+	flag.IntVar(&opts.parallel, "parallel", 1, "engine worker goroutines for group-parallel strategies (0 = all cores)")
+	flag.IntVar(&opts.cache, "cache", 64, "matrix cache capacity in entries")
+	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-request deadline (requests may tighten it with timeout_ms)")
+	flag.Int64Var(&opts.maxBody, "max-body", 8<<20, "request body limit in bytes")
+	flag.IntVar(&opts.inflight, "inflight", 0, "max concurrently evaluated compressions (0 = 2×GOMAXPROCS)")
+	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+	flag.StringVar(&opts.spillDir, "spill-dir", "", "directory for persistent matrix-cache spill (empty = disabled)")
+	flag.Int64Var(&opts.maxCells, "max-cells", 0, "admission budget: max estimated DP cells per request (0 = unlimited)")
+	flag.StringVar(&opts.admission, "admission", "reject", "over-budget policy: reject (429) or queue (serialize)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ptaserve: ", log.LstdFlags)
-	if err := run(*addr, *parallel, *cache, *timeout, *maxBody, *inflight, logger); err != nil {
+	if err := run(opts, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
 // run wires the engine and server and serves until SIGINT/SIGTERM.
-func run(addr string, parallel, cache int, timeout time.Duration, maxBody int64, inflight int, logger *log.Logger) error {
+func run(opts options, logger *log.Logger) error {
 	// One long-lived engine per deployment: request handlers share its
 	// worker parallelism and pooled DP scratch buffers.
 	engine, err := pta.New(
-		pta.WithParallelism(parallel),
+		pta.WithParallelism(opts.parallel),
 		pta.WithScratchPool(pta.NewScratchPool()),
 	)
 	if err != nil {
 		return err
 	}
 	srv, err := serve.New(serve.Config{
-		Engine:       engine,
-		CacheEntries: cache,
-		Timeout:      timeout,
-		MaxBodyBytes: maxBody,
-		MaxInflight:  inflight,
-		Logger:       logger,
+		Engine:            engine,
+		CacheEntries:      opts.cache,
+		Timeout:           opts.timeout,
+		MaxBodyBytes:      opts.maxBody,
+		MaxInflight:       opts.inflight,
+		DrainTimeout:      opts.drain,
+		SpillDir:          opts.spillDir,
+		AdmissionMaxCells: opts.maxCells,
+		AdmissionPolicy:   opts.admission,
+		Logger:            logger,
 	})
 	if err != nil {
 		return err
@@ -79,12 +105,12 @@ func run(addr string, parallel, cache int, timeout time.Duration, maxBody int64,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on http://%s (parallel=%d cache=%d timeout=%v)",
-		ln.Addr(), parallel, cache, timeout)
+	logger.Printf("listening on http://%s (parallel=%d cache=%d timeout=%v spill=%q max-cells=%d)",
+		ln.Addr(), opts.parallel, opts.cache, opts.timeout, opts.spillDir, opts.maxCells)
 	if err := srv.Serve(ctx, ln); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}

@@ -38,7 +38,12 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	logger := log.New(&buf, "", 0)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 1, 8, 5*time.Second, 1<<20, 0, logger)
+		done <- run(options{
+			addr: "127.0.0.1:0", parallel: 1, cache: 8,
+			timeout: 5 * time.Second, maxBody: 1 << 20,
+			spillDir:  t.TempDir(),
+			admission: "reject",
+		}, logger)
 	}()
 
 	// The listen address appears in the first log line.
@@ -62,6 +67,16 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(metricsBody), "ptaserve_uptime_seconds") {
+		t.Fatalf("metrics status %d, body %.120s", resp.StatusCode, metricsBody)
 	}
 
 	req, err := os.Open("../../internal/serve/testdata/compress_request.json")

@@ -108,6 +108,83 @@ func (sv *Solver) SolveSize(ctx context.Context, c int) (*DPResult, error) {
 	}, nil
 }
 
+// SolverState is the portable warm state of a Solver: every filled
+// split-point row, the per-row errors and the last error row — everything a
+// fresh Solver over the same sequence and options needs to answer budgets
+// (and resume deeper fills) without recomputing a single cell. It is the
+// payload a persistent matrix-cache tier serializes; the caller guarantees
+// the sequence identity (the serve layer keys spill files by content
+// fingerprint), Restore only validates the shapes.
+type SolverState struct {
+	N      int       // input size the rows were filled for
+	Filled int       // rows 1..Filled are present
+	RowErr []float64 // RowErr[k-1] = E[k][n], len Filled
+	LastE  []float64 // E[Filled][0..n], len n+1; the resume row
+	Splits []int32   // J rows, row-major: Splits[(k-1)*(n+1)+i] = J[k][i]
+	Bound  float64   // SSEmax if HasMax (error-budget normalization)
+	HasMax bool
+}
+
+// State snapshots the filled rows. The returned slices are copies; the
+// solver may keep filling afterwards.
+func (sv *Solver) State() *SolverState {
+	n := sv.kn.N()
+	st := &SolverState{
+		N:      n,
+		Filled: sv.filled,
+		RowErr: append([]float64(nil), sv.rowErr[1:sv.filled+1]...),
+		Bound:  sv.bound,
+		HasMax: sv.hasMax,
+	}
+	if sv.filled > 0 {
+		st.LastE = append([]float64(nil), sv.st.curE...)
+		st.Splits = make([]int32, sv.filled*(n+1))
+		for k := 0; k < sv.filled; k++ {
+			copy(st.Splits[k*(n+1):(k+1)*(n+1)], sv.st.splits[k])
+		}
+	}
+	return st
+}
+
+// Restore injects a snapshot into a freshly built solver (zero rows
+// filled). It validates every shape and every split-point value so a
+// corrupt snapshot fails cleanly instead of panicking rows later; on error
+// the solver is unchanged and still usable cold.
+func (sv *Solver) Restore(st *SolverState) error {
+	n := sv.kn.N()
+	switch {
+	case sv.filled != 0:
+		return fmt.Errorf("core: restore into a solver with %d filled rows", sv.filled)
+	case st.N != n:
+		return fmt.Errorf("core: snapshot n=%d, solver n=%d", st.N, n)
+	case st.Filled < 1 || st.Filled > n:
+		return fmt.Errorf("core: snapshot filled=%d outside 1..%d", st.Filled, n)
+	case len(st.RowErr) != st.Filled:
+		return fmt.Errorf("core: snapshot has %d row errors, want %d", len(st.RowErr), st.Filled)
+	case len(st.LastE) != n+1:
+		return fmt.Errorf("core: snapshot last row has %d cells, want %d", len(st.LastE), n+1)
+	case len(st.Splits) != st.Filled*(n+1):
+		return fmt.Errorf("core: snapshot has %d split cells, want %d", len(st.Splits), st.Filled*(n+1))
+	}
+	for _, j := range st.Splits {
+		if j < 0 || int(j) > n {
+			return fmt.Errorf("core: snapshot split point %d outside 0..%d", j, n)
+		}
+	}
+	// The split rows become views into one retained slab, matching the
+	// per-row slices fillRow appends.
+	slab := append([]int32(nil), st.Splits...)
+	sv.st.splits = sv.st.splits[:0]
+	for k := 0; k < st.Filled; k++ {
+		sv.st.splits = append(sv.st.splits, slab[k*(n+1):(k+1)*(n+1)])
+	}
+	copy(sv.st.curE, st.LastE) // fillRow(Filled+1) swaps this in as the previous row
+	copy(sv.rowErr[1:], st.RowErr)
+	sv.filled = st.Filled
+	sv.bound, sv.hasMax = st.Bound, st.HasMax
+	return nil
+}
+
 // SolveError answers an error budget eps ∈ [0, 1]: the smallest k whose
 // reduction introduces at most eps·SSEmax error. Rows filled while searching
 // are retained for later budgets.

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds: half-millisecond
+// cache hits through ten-second DP fills.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// atomicFloat accumulates float64 additions lock-free (CAS on the bit
+// pattern).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets. Observe is
+// lock-free: one linear scan over the (small, fixed) bounds slice, one
+// atomic add per observation plus the sum/count updates. Scrapes may race
+// observations; the exposition keeps bucket counts cumulative by summing
+// at render time, so a torn read can lag a bucket but never violates the
+// format.
+type Histogram struct {
+	bounds []float64       // upper bounds, strictly increasing, no +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last = observations above all bounds
+	sum    atomicFloat
+	count  atomic.Uint64
+
+	name, help string
+	labels     []string
+	values     []string
+}
+
+// NewHistogram registers a plain histogram with the given upper bounds
+// (strictly increasing; +Inf is implicit). nil bounds use DefBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds, nil, nil)
+	r.register(h)
+	return h
+}
+
+func newHistogram(name, help string, bounds []float64, labels, values []string) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing at %d", name, i))
+		}
+	}
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], 1) {
+		bounds = bounds[:n-1] // +Inf is implicit
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		name:   name, help: help, labels: labels, values: values,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) write(b *[]byte) {
+	header(b, h.name, h.help, "histogram")
+	h.writeSamples(b)
+}
+
+// writeSamples renders name_bucket{...,le="..."} lines plus _sum and
+// _count. The +Inf bucket equals the cumulative total, and _count is taken
+// from the same cumulative sum so the two always agree even under
+// concurrent observations.
+func (h *Histogram) writeSamples(b *[]byte) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		h.writeBucket(b, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	h.writeBucket(b, "+Inf", cum)
+
+	*b = append(*b, h.name...)
+	*b = append(*b, "_sum"...)
+	*b = appendLabels(*b, h.labels, h.values)
+	*b = append(*b, ' ')
+	*b = appendFloat(*b, h.sum.load())
+	*b = append(*b, '\n')
+
+	*b = append(*b, h.name...)
+	*b = append(*b, "_count"...)
+	*b = appendLabels(*b, h.labels, h.values)
+	*b = append(*b, ' ')
+	*b = strconv.AppendUint(*b, cum, 10)
+	*b = append(*b, '\n')
+}
+
+func (h *Histogram) writeBucket(b *[]byte, le string, cum uint64) {
+	*b = append(*b, h.name...)
+	*b = append(*b, "_bucket{"...)
+	for i, n := range h.labels {
+		*b = append(*b, n...)
+		*b = append(*b, '=')
+		*b = appendLabelValue(*b, h.values[i])
+		*b = append(*b, ',')
+	}
+	*b = append(*b, `le=`...)
+	*b = appendLabelValue(*b, le)
+	*b = append(*b, "} "...)
+	*b = strconv.AppendUint(*b, cum, 10)
+	*b = append(*b, '\n')
+}
+
+// HistogramVec is a family of histograms distinguished by label values;
+// like CounterVec, hot paths resolve children once and keep the *Histogram.
+type HistogramVec struct {
+	name, help string
+	labels     []string
+	bounds     []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+	order    []string
+}
+
+// NewHistogramVec registers a histogram family (nil bounds = DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	for _, l := range labels {
+		if !validLabel(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid histogram label name %q", l))
+		}
+	}
+	v := &HistogramVec{name: name, help: help, labels: labels, bounds: bounds,
+		children: make(map[string]*Histogram)}
+	r.register(v)
+	return v
+}
+
+// With returns the child for the given label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[key]; ok {
+		return h
+	}
+	h := newHistogram(v.name, v.help, v.bounds, v.labels, append([]string(nil), values...))
+	v.children[key] = h
+	v.order = append(v.order, key)
+	return h
+}
+
+func (v *HistogramVec) metricName() string { return v.name }
+
+func (v *HistogramVec) write(b *[]byte) {
+	header(b, v.name, v.help, "histogram")
+	v.mu.Lock()
+	children := make([]*Histogram, len(v.order))
+	for i, key := range v.order {
+		children[i] = v.children[key]
+	}
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].values, "\x00") < strings.Join(children[j].values, "\x00")
+	})
+	for _, h := range children {
+		h.writeSamples(b)
+	}
+}

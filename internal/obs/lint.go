@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates Prometheus text-format 0.0.4 exposition the way `promtool
+// check metrics` does, without the external binary: syntax of every line,
+// TYPE-before-samples ordering, family/sample name consistency, histogram
+// completeness (+Inf bucket, cumulative non-decreasing buckets, _count
+// consistency), counter naming conventions and duplicate series. It returns
+// every problem found (nil means the text is clean), so a CI test can
+// assert len(Lint(body)) == 0 and print the full list on failure.
+func Lint(text []byte) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type family struct {
+		typ     string
+		helped  bool
+		samples int
+	}
+	families := map[string]*family{}
+	seen := map[string]int{}          // full series (name + labels) → line
+	buckets := map[string][]bucket2{} // histogram series (sans le) → (le, count)
+	counts := map[string]float64{}    // histogram _count values by label set
+
+	lines := strings.Split(string(text), "\n")
+	for ln, raw := range lines {
+		line := ln + 1
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "#") {
+			fields := strings.SplitN(raw, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				if strings.HasPrefix(raw, "# HELP") || strings.HasPrefix(raw, "# TYPE") {
+					addf(line, "malformed comment %q", raw)
+				}
+				continue // arbitrary comments are legal
+			}
+			name := fields[2]
+			if !validName(name) {
+				addf(line, "invalid metric name %q", name)
+				continue
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.helped {
+					addf(line, "second HELP for %s", name)
+				}
+				f.helped = true
+			case "TYPE":
+				if len(fields) < 4 {
+					addf(line, "TYPE for %s is missing the type", name)
+					continue
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(line, "unknown type %q for %s", typ, name)
+					continue
+				}
+				if f.typ != "" {
+					addf(line, "second TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					addf(line, "TYPE for %s after its samples", name)
+				}
+				f.typ = typ
+				if typ == "counter" && !strings.HasSuffix(name, "_total") {
+					addf(line, "counter %s should end in _total", name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(raw)
+		if !ok {
+			addf(line, "unparsable sample %q", raw)
+			continue
+		}
+		fname := name
+		f := families[name]
+		if f == nil {
+			// histogram/summary series carry suffixes.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suf); base != name && families[base] != nil {
+					fname, f = base, families[base]
+					break
+				}
+			}
+		}
+		if f == nil || f.typ == "" {
+			addf(line, "sample %s has no preceding # TYPE", name)
+			continue
+		}
+		f.samples++
+		if f.typ == "histogram" {
+			if err := checkHistogramSample(fname, name, labels, value, buckets, counts); err != nil {
+				addf(line, "%v", err)
+			}
+		} else if name != fname {
+			addf(line, "sample %s does not match family %s", name, fname)
+		}
+		series := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := seen[series]; dup {
+			addf(line, "duplicate series %s (first at line %d)", series, prev)
+		}
+		seen[series] = line
+		if math.IsNaN(value) && f.typ == "counter" {
+			addf(line, "counter %s is NaN", name)
+		}
+	}
+
+	// Per-histogram closure checks: +Inf bucket present, cumulative
+	// non-decreasing, _count equals the +Inf bucket.
+	var keys []string
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bs := buckets[k]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := math.Inf(-1)
+		prev := -1.0
+		hasInf := false
+		for _, b := range bs {
+			if b.le <= last {
+				errs = append(errs, fmt.Errorf("histogram %s: duplicate le=%v", k, b.le))
+			}
+			last = b.le
+			if b.count < prev {
+				errs = append(errs, fmt.Errorf("histogram %s: buckets not cumulative at le=%v", k, b.le))
+			}
+			prev = b.count
+			if math.IsInf(b.le, 1) {
+				hasInf = true
+				if c, ok := counts[k]; ok && c != b.count {
+					errs = append(errs, fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", k, c, b.count))
+				}
+			}
+		}
+		if !hasInf {
+			errs = append(errs, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", k))
+		}
+	}
+	return errs
+}
+
+// checkHistogramSample validates one histogram series and records buckets
+// and counts for the closure checks. The histogram key is the family name
+// plus every label except le.
+func checkHistogramSample(fname, name string, labels [][2]string, value float64,
+	buckets map[string][]bucket2, counts map[string]float64) error {
+	var rest [][2]string
+	le := ""
+	for _, kv := range labels {
+		if kv[0] == "le" {
+			le = kv[1]
+			continue
+		}
+		rest = append(rest, kv)
+	}
+	key := fname + "{" + canonicalLabels(rest) + "}"
+	switch name {
+	case fname + "_bucket":
+		if le == "" {
+			return fmt.Errorf("histogram bucket %s without le label", name)
+		}
+		f, err := parseLE(le)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", fname, le)
+		}
+		buckets[key] = append(buckets[key], bucket2{le: f, count: value})
+	case fname + "_sum":
+	case fname + "_count":
+		counts[key] = value
+	default:
+		return fmt.Errorf("sample %s does not match histogram family %s", name, fname)
+	}
+	return nil
+}
+
+type bucket2 struct{ le, count float64 }
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// canonicalLabels renders labels sorted by name, for duplicate detection.
+func canonicalLabels(labels [][2]string) string {
+	sorted := append([][2]string(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	var sb strings.Builder
+	for i, kv := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[0])
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(kv[1]))
+	}
+	return sb.String()
+}
+
+// parseSample parses `name{k="v",...} value [timestamp]`.
+func parseSample(s string) (name string, labels [][2]string, value float64, ok bool) {
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	name = s[:i]
+	if !validName(name) {
+		return "", nil, 0, false
+	}
+	if i < len(s) && s[i] == '{' {
+		i++
+		for {
+			if i >= len(s) {
+				return "", nil, 0, false
+			}
+			if s[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(s) && s[j] != '=' {
+				j++
+			}
+			lname := s[i:j]
+			if !validName(lname) || strings.Contains(lname, ":") || j+1 >= len(s) || s[j+1] != '"' {
+				return "", nil, 0, false
+			}
+			// scan the quoted value honoring escapes
+			v := strings.Builder{}
+			k := j + 2
+			for {
+				if k >= len(s) {
+					return "", nil, 0, false
+				}
+				if s[k] == '\\' {
+					if k+1 >= len(s) {
+						return "", nil, 0, false
+					}
+					switch s[k+1] {
+					case '\\', '"':
+						v.WriteByte(s[k+1])
+					case 'n':
+						v.WriteByte('\n')
+					default:
+						return "", nil, 0, false
+					}
+					k += 2
+					continue
+				}
+				if s[k] == '"' {
+					k++
+					break
+				}
+				v.WriteByte(s[k])
+				k++
+			}
+			labels = append(labels, [2]string{lname, v.String()})
+			i = k
+			if i < len(s) && s[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(s) || s[i] != ' ' {
+		return "", nil, 0, false
+	}
+	fields := strings.Fields(s[i+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, false
+	}
+	f, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, false
+		}
+	}
+	return name, labels, f, true
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// runtimeMetrics emits the Go runtime families from one ReadMemStats
+// snapshot per scrape (each family as its own HELP/TYPE block, like every
+// other exporter). Registered under the reserved name "go" so a registry
+// carries at most one.
+type runtimeMetrics struct{}
+
+// RegisterRuntimeMetrics adds the standard Go runtime gauges and counters:
+// goroutines, GOMAXPROCS, heap footprint and GC cycles.
+func (r *Registry) RegisterRuntimeMetrics() {
+	r.register(runtimeMetrics{})
+}
+
+func (runtimeMetrics) metricName() string { return "go" }
+
+func (runtimeMetrics) write(b *[]byte) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v float64) {
+		header(b, name, help, "gauge")
+		*b = append(*b, name...)
+		*b = append(*b, ' ')
+		*b = appendFloat(*b, v)
+		*b = append(*b, '\n')
+	}
+	gauge("go_goroutines", "Number of goroutines that currently exist.", float64(runtime.NumGoroutine()))
+	gauge("go_gomaxprocs", "GOMAXPROCS, the number of OS threads executing Go code simultaneously.", float64(runtime.GOMAXPROCS(0)))
+	gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	gauge("go_memstats_heap_objects", "Number of currently allocated heap objects.", float64(ms.HeapObjects))
+	gauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", float64(ms.NextGC))
+
+	header(b, "go_gc_cycles_total", "Completed GC cycles since program start.", "counter")
+	*b = append(*b, "go_gc_cycles_total "...)
+	*b = strconv.AppendUint(*b, uint64(ms.NumGC), 10)
+	*b = append(*b, '\n')
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/pta"
+)
+
+// Admission policies for requests whose estimated DP cost exceeds
+// Config.AdmissionMaxCells.
+const (
+	// AdmissionReject answers over-budget requests with 429 + Retry-After
+	// before they consume an in-flight slot. The default.
+	AdmissionReject = "reject"
+	// AdmissionQueue serializes over-budget requests through one dedicated
+	// oversized slot instead of rejecting: at most one expensive fill runs
+	// at a time, later ones wait up to their own deadline.
+	AdmissionQueue = "queue"
+)
+
+// estimateCells predicts the worst-case DP fill cost of one resolved plan
+// over an n-row series, in matrix cells — the unit the solver's own
+// DPStats.Cells reports. The estimate is deliberately cold: it ignores
+// cache warmth, so the budget holds even when a restart (or an eviction
+// storm) empties the cache and every request pays its full fill.
+//
+//   - size budget c over an exact DP: rows 1..min(c, n), ≈ n·min(c, n) cells
+//   - error budget over an exact DP: the bound search may fill all n rows,
+//     ≈ n² cells
+//   - non-DP strategies: the greedy merge heap, ≈ n·log₂(n) "cells"
+func estimateCells(n int, pw planWire, plan pta.Plan) int64 {
+	if n <= 0 {
+		return 0
+	}
+	nn := int64(n)
+	if _, dp := pta.DPClass(pw.Strategy); !dp {
+		return nn * int64(math.Ceil(math.Log2(float64(n+1))))
+	}
+	if plan.Budget.Kind() == pta.BudgetSize {
+		c := int64(plan.Budget.C())
+		if c > nn {
+			c = nn
+		}
+		if c < 0 {
+			c = 0
+		}
+		return nn * c
+	}
+	return nn * nn
+}
+
+// admissionError is the typed carrier for a rejected request; statusFor
+// maps it to 429 and writeError attaches the estimate, the budget and a
+// Retry-After header.
+type admissionError struct {
+	cells  int64
+	budget int64
+}
+
+func (e admissionError) Error() string {
+	return fmt.Sprintf("estimated cost %d cells exceeds the admission budget %d", e.cells, e.budget)
+}
+
+// admit enforces the admission budget before the request takes an in-flight
+// slot. Under-budget requests pass for free. Over-budget requests are
+// rejected (default) or, under the queue policy, wait for the single
+// oversized slot; the returned release func must be called when the request
+// finishes (it is a no-op for under-budget requests).
+func (s *Server) admit(ctx context.Context, cells int64) (release func(), err error) {
+	if s.cfg.AdmissionMaxCells <= 0 || cells <= s.cfg.AdmissionMaxCells {
+		return func() {}, nil
+	}
+	if s.cfg.AdmissionPolicy == AdmissionQueue {
+		s.metrics.admissionQueued.Inc()
+		select {
+		case s.oversized <- struct{}{}:
+			return func() { <-s.oversized }, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.metrics.admissionRejected.Inc()
+	return nil, admissionError{cells: cells, budget: s.cfg.AdmissionMaxCells}
+}

@@ -46,6 +46,10 @@ type cacheEntry struct {
 	// stats never have to take entry locks.
 	bytes atomic.Int64
 	rows  atomic.Int64
+
+	// spilled is how many rows the persistent tier already holds for this
+	// key, so repeated budgets do not rewrite an unchanged spill file.
+	spilled atomic.Int64
 }
 
 // newMatrixCache builds a cache holding at most capacity entries (≥ 1).

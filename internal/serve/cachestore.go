@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/pta"
+)
+
+// cacheStore is the persistent tier under the in-memory matrix cache: warm
+// pta.MatrixSet snapshots spilled to one file per cache key, so a restarted
+// worker answers previously-warm series as cache hits without refilling a
+// single DP cell. Files are keyed by the full cache key (content
+// fingerprint, DP class, weights), hashed into the file name — like the
+// in-memory cache, invalidation is by displacement only: a changed series
+// fingerprints to a new key and the stale file is simply never read again.
+//
+// The on-disk format is versioned and checksummed; load treats any
+// mismatch (magic, version, key, shape, CRC) as a cold miss, removes the
+// bad file and lets the caller rebuild. Writes go through a temp file +
+// rename so a crash mid-write never leaves a torn file under a live key.
+type cacheStore struct {
+	dir      string
+	maxBytes int64
+
+	loads, stores, errors atomic.Int64
+}
+
+const (
+	spillMagic   = "PTAM"
+	spillVersion = uint32(1)
+	spillSuffix  = ".ptam"
+)
+
+// newCacheStore opens (creating if needed) the spill directory. maxBytes
+// bounds one spill file (0 = 64 MiB); oversized snapshots stay memory-only.
+func newCacheStore(dir string, maxBytes int64) (*cacheStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: spill dir: %w", err)
+	}
+	if maxBytes == 0 {
+		maxBytes = 64 << 20
+	}
+	return &cacheStore{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// path maps a cache key to its spill file. The key embeds a sha256 content
+// fingerprint already; hashing the whole key keeps file names short and
+// filesystem-safe regardless of weight vectors.
+func (cs *cacheStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(cs.dir, hex.EncodeToString(sum[:16])+spillSuffix)
+}
+
+// store spills one warm set's snapshot, reporting whether a file was
+// written. Failures only count errors — the in-memory entry stays valid.
+func (cs *cacheStore) store(key string, set *pta.MatrixSet) bool {
+	snap := set.Snapshot()
+	if snap.Filled == 0 {
+		return false
+	}
+	data := encodeSnapshot(key, snap)
+	if int64(len(data)) > cs.maxBytes {
+		return false
+	}
+	tmp, err := os.CreateTemp(cs.dir, "spill-*")
+	if err != nil {
+		cs.errors.Add(1)
+		return false
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), cs.path(key)) != nil {
+		os.Remove(tmp.Name())
+		cs.errors.Add(1)
+		return false
+	}
+	cs.stores.Add(1)
+	return true
+}
+
+// load restores a warm set for key over the series, or nil on any miss:
+// no file, corrupt file, stale version, or a snapshot the restore layer
+// rejects. Bad files are removed so the next miss goes straight to a cold
+// build instead of re-parsing garbage.
+func (cs *cacheStore) load(key string, series *pta.Series, strategy string, opts pta.Options) *pta.MatrixSet {
+	path := cs.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			cs.errors.Add(1)
+		}
+		return nil
+	}
+	snap, err := decodeSnapshot(data, key)
+	if err != nil {
+		cs.errors.Add(1)
+		os.Remove(path)
+		return nil
+	}
+	set, err := pta.RestoreMatrixSet(series, strategy, opts, snap)
+	if err != nil {
+		cs.errors.Add(1)
+		os.Remove(path)
+		return nil
+	}
+	cs.loads.Add(1)
+	return set
+}
+
+// spillStats is the /v1/stats snapshot of the persistent tier.
+type spillStats struct {
+	Loads  int64 `json:"loads"`
+	Stores int64 `json:"stores"`
+	Errors int64 `json:"errors"`
+}
+
+func (cs *cacheStore) stats() spillStats {
+	return spillStats{Loads: cs.loads.Load(), Stores: cs.stores.Load(), Errors: cs.errors.Load()}
+}
+
+// encodeSnapshot renders the versioned binary spill format: magic, version,
+// the full cache key (verified on load so a hash-collision file can never
+// serve the wrong series), the snapshot fields in fixed little-endian
+// layout, and a trailing CRC32 over everything before it.
+func encodeSnapshot(key string, snap *pta.MatrixSnapshot) []byte {
+	size := 4 + 4 + // magic, version
+		4 + len(key) + 4 + len(snap.Strategy) + 4 + len(snap.Class) +
+		8 + 8 + 1 + 8 + // n, filled, hasMax, bound
+		8*len(snap.RowErr) + 8*len(snap.LastE) + 4*len(snap.Splits) +
+		4 // crc
+	b := make([]byte, 0, size)
+	b = append(b, spillMagic...)
+	b = binary.LittleEndian.AppendUint32(b, spillVersion)
+	b = appendSpillString(b, key)
+	b = appendSpillString(b, snap.Strategy)
+	b = appendSpillString(b, snap.Class)
+	b = binary.LittleEndian.AppendUint64(b, uint64(snap.N))
+	b = binary.LittleEndian.AppendUint64(b, uint64(snap.Filled))
+	if snap.HasMax {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(snap.Bound))
+	for _, v := range snap.RowErr {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for _, v := range snap.LastE {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for _, v := range snap.Splits {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func appendSpillString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// decodeSnapshot parses and fully validates one spill file for key. Deep
+// semantic validation (split ranges, class match) happens again in
+// RestoreMatrixSet; this layer guards framing: magic, version, key
+// equality, declared lengths against the actual payload, and the CRC.
+func decodeSnapshot(data []byte, key string) (*pta.MatrixSnapshot, error) {
+	if len(data) < 4+4+4 {
+		return nil, fmt.Errorf("spill: short file (%d bytes)", len(data))
+	}
+	crcAt := len(data) - 4
+	if got, want := crc32.ChecksumIEEE(data[:crcAt]), binary.LittleEndian.Uint32(data[crcAt:]); got != want {
+		return nil, fmt.Errorf("spill: CRC mismatch")
+	}
+	d := spillReader{data: data[:crcAt]}
+	if string(d.bytes(4)) != spillMagic {
+		return nil, fmt.Errorf("spill: bad magic")
+	}
+	if v := d.u32(); v != spillVersion {
+		return nil, fmt.Errorf("spill: version %d, want %d", v, spillVersion)
+	}
+	if k := d.str(); k != key {
+		return nil, fmt.Errorf("spill: key mismatch")
+	}
+	snap := &pta.MatrixSnapshot{Strategy: d.str(), Class: d.str()}
+	n := d.u64()
+	filled := d.u64()
+	hasMax := d.bytes(1)
+	bound := d.u64()
+	// Bound the declared shape by the remaining payload before allocating.
+	if d.err != nil || n > uint64(len(data)) || filled > n {
+		return nil, fmt.Errorf("spill: implausible shape n=%d filled=%d", n, filled)
+	}
+	snap.N, snap.Filled = int(n), int(filled)
+	snap.HasMax = len(hasMax) == 1 && hasMax[0] == 1
+	snap.Bound = math.Float64frombits(bound)
+	snap.RowErr = d.f64s(snap.Filled)
+	snap.LastE = d.f64s(snap.N + 1)
+	snap.Splits = d.i32s(snap.Filled * (snap.N + 1))
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != d.off {
+		return nil, fmt.Errorf("spill: %d trailing bytes", len(d.data)-d.off)
+	}
+	return snap, nil
+}
+
+// spillReader walks the decode cursor, latching the first framing error.
+type spillReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *spillReader) bytes(n int) []byte {
+	if d.err != nil || d.off+n > len(d.data) {
+		if d.err == nil {
+			d.err = fmt.Errorf("spill: truncated at byte %d", d.off)
+		}
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *spillReader) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *spillReader) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *spillReader) str() string {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.data)) {
+		if d.err == nil {
+			d.err = fmt.Errorf("spill: implausible string length %d", n)
+		}
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+func (d *spillReader) f64s(n int) []float64 {
+	b := d.bytes(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (d *spillReader) i32s(n int) []int32 {
+	b := d.bytes(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// spillSend posts one compress request and returns the decoded result.
+func spillSend(t *testing.T, url string, plan planWire) resultWire {
+	t.Helper()
+	raw, _ := json.Marshal(compressRequest{Series: projWire(), Plan: plan})
+	resp, err := http.Post(url+"/v1/compress", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var res resultWire
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// spillFiles lists the .ptam files in dir.
+func spillFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*"+spillSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestSpillSurvivesRestart is the kill-9 acceptance scenario: a second
+// Server over the same spill directory — a restarted worker; nothing is
+// flushed at shutdown because spilling happens at fill time — answers a
+// previously-warm request as a cache hit with zero DP cells filled.
+func TestSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	plan := planWire{Strategy: "ptac", Budget: "c=4"}
+
+	_, ts1 := newTestServer(t, Config{SpillDir: dir})
+	if res := spillSend(t, ts1.URL, plan); res.Cache != cacheMiss || res.Stats.Cells == 0 {
+		t.Fatalf("cold request: cache=%q cells=%d, want miss with fill work", res.Cache, res.Stats.Cells)
+	}
+	if files := spillFiles(t, dir); len(files) != 1 {
+		t.Fatalf("%d spill files after a warm fill, want 1", len(files))
+	}
+	ts1.Close() // the worker dies; only the spill directory survives
+
+	_, ts2 := newTestServer(t, Config{SpillDir: dir})
+	res := spillSend(t, ts2.URL, plan)
+	if res.Cache != cacheHit {
+		t.Errorf("restarted worker: cache=%q, want hit from spill", res.Cache)
+	}
+	if res.Stats.Cells != 0 {
+		t.Errorf("restarted worker filled %d cells, want 0 (no refill)", res.Stats.Cells)
+	}
+	if res.C != 4 {
+		t.Errorf("restored answer C=%d, want 4", res.C)
+	}
+	// A deeper budget on the restored matrices resumes the fill and spills
+	// the deeper state.
+	if res := spillSend(t, ts2.URL, planWire{Strategy: "ptac", Budget: "c=5"}); res.Cache != cacheHit || res.C != 5 {
+		t.Errorf("deeper budget after restore: cache=%q C=%d", res.Cache, res.C)
+	}
+	_, stats := get(t, ts2.URL+"/v1/stats")
+	spill := stats["spill"].(map[string]any)
+	if spill["loads"].(float64) != 1 {
+		t.Errorf("spill loads = %v, want 1", spill["loads"])
+	}
+	if spill["stores"].(float64) < 1 {
+		t.Errorf("spill stores = %v, want ≥ 1 (deeper fill re-spilled)", spill["stores"])
+	}
+	if spill["errors"].(float64) != 0 {
+		t.Errorf("spill errors = %v, want 0", spill["errors"])
+	}
+}
+
+// TestSpillCorruptionFallsBackCold: flipped payload bytes, a stale format
+// version and truncation all degrade to a cold build — never an error, and
+// the bad file is removed.
+func TestSpillCorruptionFallsBackCold(t *testing.T) {
+	plan := planWire{Strategy: "ptac", Budget: "c=4"}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		dir := t.TempDir()
+		_, ts1 := newTestServer(t, Config{SpillDir: dir})
+		spillSend(t, ts1.URL, plan)
+		ts1.Close()
+		files := spillFiles(t, dir)
+		if len(files) != 1 {
+			t.Fatalf("%s: %d spill files, want 1", name, len(files))
+		}
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(files[0], mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		_, ts2 := newTestServer(t, Config{SpillDir: dir})
+		res := spillSend(t, ts2.URL, plan)
+		if res.Cache != cacheMiss || res.Stats.Cells == 0 {
+			t.Errorf("%s: cache=%q cells=%d, want a cold rebuild", name, res.Cache, res.Stats.Cells)
+		}
+		_, stats := get(t, ts2.URL+"/v1/stats")
+		spill := stats["spill"].(map[string]any)
+		if spill["errors"].(float64) < 1 {
+			t.Errorf("%s: spill errors = %v, want ≥ 1", name, spill["errors"])
+		}
+		if spill["loads"].(float64) != 0 {
+			t.Errorf("%s: spill loads = %v, want 0", name, spill["loads"])
+		}
+		// The rebuild re-spilled over the removed bad file.
+		if files := spillFiles(t, dir); len(files) != 1 {
+			t.Errorf("%s: %d spill files after rebuild, want 1", name, len(files))
+		}
+	}
+
+	corrupt("flipped payload byte", func(b []byte) []byte {
+		b[len(b)/2] ^= 0xFF
+		return b
+	})
+	corrupt("stale version", func(b []byte) []byte {
+		// Patch the version field and re-seal the CRC so only the version
+		// check can reject it.
+		binary.LittleEndian.PutUint32(b[4:], spillVersion+7)
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+		return b
+	})
+	corrupt("truncated", func(b []byte) []byte {
+		return b[:len(b)/3]
+	})
+	corrupt("empty", func(b []byte) []byte {
+		return nil
+	})
+}
+
+// TestSpillDecodeRejections covers the decoder directly: every framing
+// violation is an error, and the encoder round-trips.
+func TestSpillDecodeRejections(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{SpillDir: dir})
+	spillSend(t, ts.URL, planWire{Strategy: "ptac", Budget: "c=4"})
+	files := spillFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d spill files, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover the key: it is length-prefixed right after magic+version.
+	keyLen := binary.LittleEndian.Uint32(data[8:])
+	key := string(data[12 : 12+keyLen])
+
+	snap, err := decodeSnapshot(data, key)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if snap.Strategy != "ptac" || snap.N != 7 || snap.Filled < 4 {
+		t.Errorf("decoded snapshot: strategy=%q n=%d filled=%d", snap.Strategy, snap.N, snap.Filled)
+	}
+	reencoded := encodeSnapshot(key, snap)
+	if !bytes.Equal(reencoded, data) {
+		t.Error("encode(decode(file)) != file")
+	}
+
+	if _, err := decodeSnapshot(data, "some-other-key"); err == nil {
+		t.Error("decoder accepted a key mismatch")
+	}
+	if _, err := decodeSnapshot(data[:16], key); err == nil {
+		t.Error("decoder accepted a truncated file")
+	}
+	if _, err := decodeSnapshot(append(append([]byte(nil), data...), 0), key); err == nil {
+		t.Error("decoder accepted trailing bytes")
+	}
+	bad := append([]byte(nil), data...)
+	copy(bad, "XXXX")
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	if _, err := decodeSnapshot(bad, key); err == nil {
+		t.Error("decoder accepted a bad magic")
+	}
+}

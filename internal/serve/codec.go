@@ -109,6 +109,11 @@ type errorWire struct {
 	Message string   `json:"message"`
 	CMin    int      `json:"cmin,omitempty"`  // budget_infeasible: smallest reachable size
 	Known   []string `json:"known,omitempty"` // unknown_strategy: the registry
+
+	// admission_rejected: the cost model's verdict, so clients can split
+	// the request or pick a smaller budget instead of blind retries.
+	EstimatedCells int64 `json:"estimated_cells,omitempty"`
+	MaxCells       int64 `json:"max_cells,omitempty"`
 }
 
 // decodeSeries validates and converts a wire series into the facade model:

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pta"
 )
 
@@ -58,10 +61,18 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the Prometheus text-format exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.nStats.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": time.Since(s.started).Seconds(),
+	uptime := time.Since(s.started).Seconds()
+	body := map[string]any{
+		"uptime_seconds": uptime,
+		"uptime_s":       uptime,
 		"requests": map[string]int64{
 			"compress":      s.nCompress.Load(),
 			"compress_many": s.nCompressMany.Load(),
@@ -72,7 +83,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"compressions": s.compressions.Load(),
 		"inflight":     len(s.inflight),
 		"cache":        s.cache.stats(),
-	})
+		"admission": map[string]any{
+			"max_cells": s.cfg.AdmissionMaxCells,
+			"policy":    cmp.Or(s.cfg.AdmissionPolicy, AdmissionReject),
+			"rejected":  s.metrics.admissionRejected.Value(),
+			"queued":    s.metrics.admissionQueued.Value(),
+		},
+	}
+	if s.store != nil {
+		body["spill"] = s.store.stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
@@ -88,19 +109,28 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
-	if !s.acquireSlot(ctx) {
-		s.writeError(w, r, ctx.Err())
-		return
-	}
-	defer s.releaseSlot()
-
+	// The series decodes before any slot is taken: admission must price the
+	// request (and possibly reject it) without consuming in-flight capacity.
 	series, err := decodeSeries(req.Series)
 	if err != nil {
 		s.writeError(w, r, badRequest(err))
 		return
 	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if s.cfg.AdmissionMaxCells > 0 {
+		release, err := s.admit(ctx, estimateCells(series.Len(), req.Plan, plan))
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		defer release()
+	}
+	if !s.acquireSlot(ctx) {
+		s.writeError(w, r, ctx.Err())
+		return
+	}
+	defer s.releaseSlot()
 	res, disposition, err := s.compressOne(ctx, series, "", req.Plan, plan)
 	if err != nil {
 		s.writeError(w, r, err)
@@ -123,19 +153,39 @@ func (s *Server) handleCompressMany(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, badRequest(errors.New("need at least one plan")))
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
-	if !s.acquireSlot(ctx) {
-		s.writeError(w, r, ctx.Err())
-		return
-	}
-	defer s.releaseSlot()
-
 	series, err := decodeSeries(req.Series)
 	if err != nil {
 		s.writeError(w, r, badRequest(err))
 		return
 	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// Admission prices the whole request — the sum of per-plan worst cases
+	// — before any slot is taken. Plans resolve again in the evaluation
+	// loop; that duplication keeps the admission-disabled hot path free of
+	// the pricing pass entirely.
+	if s.cfg.AdmissionMaxCells > 0 {
+		var cells int64
+		for _, pw := range req.Plans {
+			plan, err := resolvePlan(pw)
+			if err != nil {
+				s.writeError(w, r, err)
+				return
+			}
+			cells += estimateCells(series.Len(), pw, plan)
+		}
+		release, err := s.admit(ctx, cells)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		defer release()
+	}
+	if !s.acquireSlot(ctx) {
+		s.writeError(w, r, ctx.Err())
+		return
+	}
+	defer s.releaseSlot()
 
 	// The series fingerprints once; each plan resolves its own cache key
 	// (strategies of one DP class share an entry, so a c= and an eps= plan
@@ -274,14 +324,56 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 	if hit {
 		disposition = cacheHit
 	}
-	res, err := entry.compress(ctx, s.cache,
-		func() (*pta.MatrixSet, error) {
-			return pta.NewMatrixSet(series, pw.Strategy,
-				pta.Options{Weights: s.effectiveWeights(pw), FillAlgo: fill})
-		},
-		func(set *pta.MatrixSet) (*pta.Result, error) {
-			return set.Compress(ctx, plan.Budget)
-		})
+	opts := pta.Options{Weights: s.effectiveWeights(pw), FillAlgo: fill}
+	var res *pta.Result
+	var err error
+	if s.store == nil {
+		start := time.Now()
+		res, err = entry.compress(ctx, s.cache,
+			func() (*pta.MatrixSet, error) {
+				return pta.NewMatrixSet(series, pw.Strategy, opts)
+			},
+			func(set *pta.MatrixSet) (*pta.Result, error) {
+				return set.Compress(ctx, plan.Budget)
+			})
+		if err == nil && !hit {
+			s.metrics.fillSeconds.Observe(time.Since(start).Seconds())
+		}
+	} else {
+		fromSpill := false
+		start := time.Now()
+		res, err = entry.compress(ctx, s.cache,
+			func() (*pta.MatrixSet, error) {
+				// An in-memory miss consults the persistent tier first: a
+				// spill hit restores the warm matrices and the budget
+				// answers with a backtrack, no fill — the client sees it as
+				// a cache hit.
+				if set := s.store.load(key, series, pw.Strategy, opts); set != nil {
+					fromSpill = true
+					entry.spilled.Store(int64(set.Rows())) // disk already has these rows
+					return set, nil
+				}
+				return pta.NewMatrixSet(series, pw.Strategy, opts)
+			},
+			func(set *pta.MatrixSet) (*pta.Result, error) {
+				res, err := set.Compress(ctx, plan.Budget)
+				// Spill under the entry semaphore whenever this evaluation
+				// deepened the matrices past what is already on disk.
+				if err == nil {
+					if rows := int64(set.Rows()); rows > entry.spilled.Load() && s.store.store(key, set) {
+						entry.spilled.Store(rows)
+					}
+				}
+				return res, err
+			})
+		if err == nil {
+			if fromSpill {
+				disposition = cacheHit
+			} else if !hit {
+				s.metrics.fillSeconds.Observe(time.Since(start).Seconds())
+			}
+		}
+	}
 	if err != nil {
 		return nil, disposition, err
 	}
@@ -302,9 +394,12 @@ func badRequest(err error) error { return badRequestError{err: err} }
 // statusFor maps an error onto (HTTP status, machine-readable code).
 func statusFor(err error) (int, string) {
 	var br badRequestError
+	var adm admissionError
 	switch {
 	case errors.As(err, &br):
 		return http.StatusBadRequest, "bad_request"
+	case errors.As(err, &adm):
+		return http.StatusTooManyRequests, "admission_rejected"
 	case errors.Is(err, pta.ErrUnknownStrategy):
 		return http.StatusBadRequest, "unknown_strategy"
 	case errors.Is(err, pta.ErrBudgetKind):
@@ -335,6 +430,14 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	var unk *pta.UnknownStrategyError
 	if errors.As(err, &unk) {
 		body.Known = unk.Known
+	}
+	var adm admissionError
+	if errors.As(err, &adm) {
+		body.EstimatedCells = adm.cells
+		body.MaxCells = adm.budget
+		// One second is enough for the in-flight burst that tripped the
+		// budget to clear; clients with real backoff ignore it anyway.
+		w.Header().Set("Retry-After", strconv.Itoa(1))
 	}
 	if status >= 500 || status == statusClientClosedRequest {
 		s.log.Printf("serve: %s %s: %d %s: %v", r.Method, r.URL.Path, status, code, err)

@@ -32,6 +32,27 @@ type Config struct {
 	// MaxInflight bounds concurrently evaluated compressions; excess
 	// requests wait for a slot until their deadline (0 = 2×GOMAXPROCS).
 	MaxInflight int
+	// DrainTimeout bounds how long a graceful shutdown waits for in-flight
+	// requests before force-closing their connections (0 = 10s).
+	DrainTimeout time.Duration
+	// SpillDir enables the persistent matrix-cache tier: warm MatrixSet
+	// snapshots are written to versioned binary files in this directory,
+	// keyed by (fingerprint, DP class, weights), and reloaded on the first
+	// miss after a restart ("" = disabled).
+	SpillDir string
+	// SpillMaxBytes bounds one spill file (0 = 64 MiB); larger snapshots
+	// stay memory-only.
+	SpillMaxBytes int64
+	// AdmissionMaxCells bounds the estimated worst-case DP cost, in matrix
+	// cells (≈ n·c for a size budget, n² for an error budget), one request
+	// may demand (0 = unlimited). Over-budget requests get 429 with
+	// Retry-After under the default reject policy, or serialize through a
+	// single oversized slot under the queue policy — either way before they
+	// consume an in-flight slot.
+	AdmissionMaxCells int64
+	// AdmissionPolicy is AdmissionReject ("" = reject) or AdmissionQueue;
+	// see AdmissionMaxCells.
+	AdmissionPolicy string
 	// Logger receives one line per failed request (nil = standard logger).
 	Logger *log.Logger
 }
@@ -44,11 +65,14 @@ type Server struct {
 	engine         *pta.Engine
 	defaultWeights []float64 // the engine's WithWeights vector, folded into cache keys
 	cache          *matrixCache
+	store          *cacheStore // nil unless SpillDir is set
+	metrics        *serverMetrics
 	mux            *http.ServeMux
 	log            *log.Logger
 
-	started  time.Time
-	inflight chan struct{}
+	started   time.Time
+	inflight  chan struct{}
+	oversized chan struct{} // the single queue-policy slot; see admission.go
 
 	// request counters by endpoint, surfaced on /v1/stats
 	nCompress, nCompressMany, nStrategies, nStats, nHealth atomic.Int64
@@ -68,22 +92,42 @@ func New(cfg Config) (*Server, error) {
 		cfg.CacheEntries = 64
 	}
 	if cfg.CacheEntries < 0 {
-		return nil, fmt.Errorf("serve: CacheEntries %d, want > 0", cfg.CacheEntries)
+		return nil, fmt.Errorf("serve: CacheEntries %d, want >= 0 (0 = default 64)", cfg.CacheEntries)
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 30 * time.Second
 	}
 	if cfg.Timeout < 0 {
-		return nil, fmt.Errorf("serve: Timeout %v, want > 0", cfg.Timeout)
+		return nil, fmt.Errorf("serve: Timeout %v, want >= 0 (0 = default 30s)", cfg.Timeout)
 	}
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("serve: MaxBodyBytes %d, want >= 0 (0 = default 8 MiB)", cfg.MaxBodyBytes)
 	}
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxInflight < 0 {
-		return nil, fmt.Errorf("serve: MaxInflight %d, want > 0", cfg.MaxInflight)
+		return nil, fmt.Errorf("serve: MaxInflight %d, want >= 0 (0 = default 2×GOMAXPROCS)", cfg.MaxInflight)
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.DrainTimeout < 0 {
+		return nil, fmt.Errorf("serve: DrainTimeout %v, want >= 0 (0 = default 10s)", cfg.DrainTimeout)
+	}
+	if cfg.SpillMaxBytes < 0 {
+		return nil, fmt.Errorf("serve: SpillMaxBytes %d, want >= 0 (0 = default 64 MiB)", cfg.SpillMaxBytes)
+	}
+	if cfg.AdmissionMaxCells < 0 {
+		return nil, fmt.Errorf("serve: AdmissionMaxCells %d, want >= 0 (0 = unlimited)", cfg.AdmissionMaxCells)
+	}
+	switch cfg.AdmissionPolicy {
+	case "", AdmissionReject, AdmissionQueue:
+	default:
+		return nil, fmt.Errorf("serve: AdmissionPolicy %q, want %q or %q", cfg.AdmissionPolicy, AdmissionReject, AdmissionQueue)
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
@@ -96,13 +140,23 @@ func New(cfg Config) (*Server, error) {
 		log:            cfg.Logger,
 		started:        time.Now(),
 		inflight:       make(chan struct{}, cfg.MaxInflight),
+		oversized:      make(chan struct{}, 1),
 	}
+	if cfg.SpillDir != "" {
+		store, err := newCacheStore(cfg.SpillDir, cfg.SpillMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	s.metrics = newServerMetrics(s)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
-	s.mux.HandleFunc("POST /v1/compress/many", s.handleCompressMany)
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/strategies", s.instrument("strategies", s.handleStrategies))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/compress", s.instrument("compress", s.handleCompress))
+	s.mux.HandleFunc("POST /v1/compress/many", s.instrument("compress_many", s.handleCompressMany))
 	return s, nil
 }
 
@@ -123,8 +177,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // Serve is ListenAndServe over an existing listener (tests and examples
 // bind ":0" themselves to learn the port). Canceling ctx triggers a
 // graceful shutdown: the listener closes but in-flight evaluations keep
-// their own request contexts and get up to 10 seconds to drain — ctx is
-// deliberately NOT the BaseContext, which would abort them instead.
+// their own request contexts and get up to Config.DrainTimeout to drain —
+// ctx is deliberately NOT the BaseContext, which would abort them instead.
+// When the drain window expires, remaining connections are force-closed
+// and Serve still returns nil: an operator-bounded drain is a clean exit.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.mux,
@@ -136,10 +192,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return err
+			if !errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			s.log.Printf("serve: drain window %v expired, force-closing", s.cfg.DrainTimeout)
+			_ = srv.Close()
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err

@@ -511,6 +511,67 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestDrainTimeoutForcesClose: a configured drain window bounds shutdown —
+// when an in-flight evaluation outlives it, Serve force-closes and still
+// returns nil instead of hanging for the full evaluation.
+func TestDrainTimeoutForcesClose(t *testing.T) {
+	s, err := New(Config{
+		Logger:       log.New(io.Discard, "", 0),
+		Timeout:      5 * time.Minute,
+		DrainTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// A request far slower than the 50 ms drain window.
+	series := seriesWire{AggNames: []string{"v"}}
+	n := 3000
+	for i := 0; i < n; i++ {
+		series.Rows = append(series.Rows, rowWire{
+			Aggs:  []float64{float64(i%13) + 0.5*float64(i%7)},
+			Start: int64(i), End: int64(i),
+		})
+	}
+	raw, _ := json.Marshal(compressRequest{
+		Series: series, Plan: planWire{Strategy: "ptac", Budget: fmt.Sprintf("c=%d", n/2)},
+	})
+	requestDone := make(chan struct{})
+	go func() {
+		defer close(requestDone)
+		resp, err := http.Post(base+"/v1/compress", "application/json", bytes.NewReader(raw))
+		if err == nil {
+			resp.Body.Close()
+		}
+		// Either outcome is fine: the connection may be force-closed
+		// mid-response or the evaluation may finish first on a fast machine.
+	}()
+	time.Sleep(30 * time.Millisecond) // let the evaluation start
+	start := time.Now()
+	cancel()
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after a bounded drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return: drain window was not enforced")
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("Serve returned after %v, before the drain window elapsed", elapsed)
+	}
+	<-requestDone
+}
+
 // TestDecodeSeriesValidation covers codec-level rejections.
 func TestDecodeSeriesValidation(t *testing.T) {
 	base := projWire()

@@ -1,0 +1,85 @@
+package pta
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MatrixSnapshot is the portable warm state of a MatrixSet: the filled DP
+// rows (split points, per-row errors, the resumable last error row) plus
+// the identifying class. It is what a persistent cache tier serializes to
+// disk so a restarted worker answers previously-warm series without
+// refilling a single matrix cell (internal/serve's cachestore wraps it in a
+// versioned binary format keyed by content fingerprint).
+//
+// A snapshot is only meaningful together with the exact series it was
+// taken over — it carries no series data. Callers establish that identity
+// themselves (the serve layer keys spill files by Fingerprint, so a loaded
+// snapshot always meets the series that produced it); RestoreMatrixSet
+// validates shape and class, not content.
+type MatrixSnapshot struct {
+	Strategy string    // registry name the set was built for
+	Class    string    // DPClassWith(strategy, fill) — must match on restore
+	N        int       // series length the rows were filled for
+	Filled   int       // rows 1..Filled are present
+	RowErr   []float64 // E[k][n] per filled row, len Filled
+	LastE    []float64 // E[Filled][0..n], len N+1
+	Splits   []int32   // J rows, row-major, len Filled×(N+1)
+	Bound    float64   // SSEmax when HasMax (error-budget normalization)
+	HasMax   bool
+}
+
+// Snapshot copies the set's warm rows. A set that has answered no budget
+// yet returns Filled == 0 (nothing worth persisting).
+func (m *MatrixSet) Snapshot() *MatrixSnapshot {
+	st := m.sv.State()
+	return &MatrixSnapshot{
+		Strategy: m.strategy,
+		Class:    m.class,
+		N:        st.N,
+		Filled:   st.Filled,
+		RowErr:   st.RowErr,
+		LastE:    st.LastE,
+		Splits:   st.Splits,
+		Bound:    st.Bound,
+		HasMax:   st.HasMax,
+	}
+}
+
+// RestoreMatrixSet rebuilds a warm MatrixSet from a snapshot: it constructs
+// a fresh set over the series (computing the cost kernel, which needs the
+// series anyway) and injects the snapshot's rows, so later budgets answer
+// with zero fill work and deeper budgets resume where the snapshot
+// stopped. The snapshot's class must match DPClassWith(strategy,
+// opts.FillAlgo), and every shape is validated — a corrupt or mismatched
+// snapshot returns an error and no set, leaving the caller to fall back to
+// a cold build.
+func RestoreMatrixSet(s *Series, strategy string, opts Options, snap *MatrixSnapshot) (*MatrixSet, error) {
+	if snap == nil || snap.Filled == 0 {
+		return nil, fmt.Errorf("pta: empty matrix snapshot")
+	}
+	class, ok := DPClassWith(strategy, opts.FillAlgo)
+	if !ok {
+		return nil, fmt.Errorf("pta: strategy %q is not an exact DP: nothing to restore", strategy)
+	}
+	if class != snap.Class {
+		return nil, fmt.Errorf("pta: snapshot class %q does not match %q for %s", snap.Class, class, strategy)
+	}
+	m, err := NewMatrixSet(s, strategy, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.sv.Restore(&core.SolverState{
+		N:      snap.N,
+		Filled: snap.Filled,
+		RowErr: snap.RowErr,
+		LastE:  snap.LastE,
+		Splits: snap.Splits,
+		Bound:  snap.Bound,
+		HasMax: snap.HasMax,
+	}); err != nil {
+		return nil, fmt.Errorf("pta: %w", err)
+	}
+	return m, nil
+}

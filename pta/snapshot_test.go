@@ -1,0 +1,129 @@
+package pta_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/pta"
+)
+
+// TestSnapshotRestoreRoundTrip: a restored set answers every budget the
+// original answered bitwise-identically and with zero fill work, and can
+// still fill deeper rows for budgets beyond the snapshot.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	seq := grouped(t)
+	ctx := context.Background()
+	warm, err := pta.NewMatrixSet(seq, "ptac", pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := pta.Size(seq.Len() / 4)
+	want, err := warm.Compress(ctx, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := warm.Snapshot()
+	if snap.Filled != warm.Rows() || snap.N != seq.Len() || snap.Class != warm.Class() {
+		t.Fatalf("snapshot shape: %+v vs rows=%d", snap, warm.Rows())
+	}
+
+	cold, err := pta.RestoreMatrixSet(seq, "ptac", pta.Options{}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Rows() != warm.Rows() {
+		t.Fatalf("restored rows = %d, want %d", cold.Rows(), warm.Rows())
+	}
+	got, err := cold.Compress(ctx, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.C != want.C || got.Error != want.Error {
+		t.Errorf("restored answer (C=%d, E=%g) != original (C=%d, E=%g)", got.C, got.Error, want.C, want.Error)
+	}
+	if !got.Series.Equal(want.Series, 0) {
+		t.Error("restored rows differ from original")
+	}
+	if got.Stats.Cells != 0 {
+		t.Errorf("restored set filled %d cells on a warm budget, want 0", got.Stats.Cells)
+	}
+
+	// A deeper budget resumes the fill from the snapshot's last row and
+	// matches a never-snapshotted set.
+	deep := pta.Size(seq.Len() / 2)
+	wantDeep, err := warm.Compress(ctx, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDeep, err := cold.Compress(ctx, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDeep.C != wantDeep.C || math.Abs(gotDeep.Error-wantDeep.Error) > 0 {
+		t.Errorf("deep resume (C=%d, E=%g) != fresh (C=%d, E=%g)",
+			gotDeep.C, gotDeep.Error, wantDeep.C, wantDeep.Error)
+	}
+	if !gotDeep.Series.Equal(wantDeep.Series, 0) {
+		t.Error("deep resume rows differ")
+	}
+
+	// Error budgets reuse the snapshot's SSEmax normalization.
+	wantEps, err := warm.Compress(ctx, pta.ErrorBound(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEps, err := cold.Compress(ctx, pta.ErrorBound(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEps.C != wantEps.C || gotEps.Error != wantEps.Error {
+		t.Errorf("eps budget (C=%d, E=%g) != (C=%d, E=%g)", gotEps.C, gotEps.Error, wantEps.C, wantEps.Error)
+	}
+}
+
+// TestSnapshotRestoreRejections: corrupt or mismatched snapshots fail
+// cleanly instead of producing a poisoned set.
+func TestSnapshotRestoreRejections(t *testing.T) {
+	seq := grouped(t)
+	ctx := context.Background()
+	set, err := pta.NewMatrixSet(seq, "ptac", pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Compress(ctx, pta.Size(seq.Len()/4)); err != nil {
+		t.Fatal(err)
+	}
+	good := set.Snapshot()
+
+	mutate := func(name string, f func(s *pta.MatrixSnapshot)) {
+		s := *good
+		s.RowErr = append([]float64(nil), good.RowErr...)
+		s.LastE = append([]float64(nil), good.LastE...)
+		s.Splits = append([]int32(nil), good.Splits...)
+		f(&s)
+		if _, err := pta.RestoreMatrixSet(seq, "ptac", pta.Options{}, &s); err == nil {
+			t.Errorf("%s: restore accepted a bad snapshot", name)
+		}
+	}
+	mutate("wrong n", func(s *pta.MatrixSnapshot) { s.N++ })
+	mutate("wrong class", func(s *pta.MatrixSnapshot) { s.Class = "dp" })
+	mutate("truncated row errors", func(s *pta.MatrixSnapshot) { s.RowErr = s.RowErr[:1] })
+	mutate("truncated splits", func(s *pta.MatrixSnapshot) { s.Splits = s.Splits[:len(s.Splits)-1] })
+	mutate("split out of range", func(s *pta.MatrixSnapshot) { s.Splits[0] = int32(s.N + 5) })
+	mutate("negative split", func(s *pta.MatrixSnapshot) { s.Splits[0] = -1 })
+	mutate("filled too deep", func(s *pta.MatrixSnapshot) { s.Filled = s.N + 1 })
+
+	if _, err := pta.RestoreMatrixSet(seq, "ptac", pta.Options{}, nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if _, err := pta.RestoreMatrixSet(seq, "gms", pta.Options{}, good); err == nil {
+		t.Error("non-DP strategy accepted a snapshot")
+	}
+
+	// The pristine snapshot still restores after all the rejected copies.
+	if _, err := pta.RestoreMatrixSet(seq, "ptac", pta.Options{}, good); err != nil {
+		t.Errorf("good snapshot rejected: %v", err)
+	}
+}
