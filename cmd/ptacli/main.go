@@ -35,6 +35,7 @@ import (
 	"syscall"
 
 	"repro/internal/csvio"
+	"repro/internal/dist"
 	"repro/internal/ita"
 	"repro/internal/sta"
 	"repro/internal/temporal"
@@ -55,6 +56,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "engine worker goroutines for group-parallel strategies (0 = all cores)")
 		span     = flag.Int64("span", 0, "span width for sta")
 		list     = flag.Bool("list-strategies", false, "list registered compression strategies and exit")
+		workers  = flag.String("workers", "", "comma-separated ptaserve worker base URLs enabling -strategy dist")
 	)
 	flag.Parse()
 	if *list {
@@ -76,6 +78,21 @@ func main() {
 	engine, err := pta.New(pta.WithParallelism(*parallel))
 	if err != nil {
 		fail(err)
+	}
+	if *workers != "" {
+		// -strategy dist scatters the compression across a ptaserve fleet;
+		// the coordinator rides the same engine call path as any strategy.
+		var urls []string
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				urls = append(urls, w)
+			}
+		}
+		co, derr := dist.New(dist.WithWorkers(urls...))
+		if derr != nil {
+			fail(derr)
+		}
+		dist.Activate(co)
 	}
 
 	rel, err := csvio.LoadRelationFile(*in)

@@ -89,6 +89,7 @@ type options struct {
 	out         string
 	requireHits bool
 	seed        int64
+	strategy    string
 }
 
 // phaseReport is the latency/throughput summary of one phase.
@@ -130,6 +131,7 @@ func main() {
 	flag.StringVar(&opts.out, "out", "", "also write the JSON report to this file")
 	flag.BoolVar(&opts.requireHits, "require-hits", false, "exit nonzero when the warm phase saw no cache hits")
 	flag.Int64Var(&opts.seed, "seed", 1, "workload generator seed")
+	flag.StringVar(&opts.strategy, "strategy", "", "override the strategy of every plan (e.g. dist against a coordinator; default: ptac/ptae mix)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ptaload: ", 0)
@@ -305,6 +307,9 @@ func run(opts options, logger *log.Logger) (*report, error) {
 	// fill. The plan matches the first warm-mix plan so the warm phase
 	// starts fully cacheable.
 	coldPlan := wirePlan{Strategy: "ptac", Budget: fmt.Sprintf("c=%d", max(2, opts.rows/10))}
+	if opts.strategy != "" {
+		coldPlan.Strategy = opts.strategy
+	}
 	coldJobs := make([]job, len(workload))
 	for i, s := range workload {
 		coldJobs[i] = marshal(s, coldPlan)
@@ -322,6 +327,13 @@ func run(opts options, logger *log.Logger) (*report, error) {
 		{Strategy: "ptac", Budget: fmt.Sprintf("c=%d", max(2, opts.rows/10))},
 		{Strategy: "ptac", Budget: fmt.Sprintf("c=%d", max(3, opts.rows/5))},
 		{Strategy: "ptae", Budget: "eps=0.5"},
+	}
+	if opts.strategy != "" {
+		// A -strategy override (e.g. dist) keeps the budget mix but routes
+		// every plan through the named strategy.
+		for i := range warmPlans {
+			warmPlans[i].Strategy = opts.strategy
+		}
 	}
 	var warmJobs []job
 	for round := 0; round < opts.warmRounds; round++ {

@@ -24,6 +24,15 @@
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/v1/compress -d @request.json
+//
+// With -workers the daemon additionally coordinates a fleet of other
+// ptaserve processes: the "dist" strategy shards each series across the
+// listed workers by consistent hashing and gathers an exact, bit-identical
+// result (internal/dist; docs/ARCHITECTURE.md § Distribution):
+//
+//	ptaserve -addr :8081 -spill-dir /var/cache/w1 &
+//	ptaserve -addr :8082 -spill-dir /var/cache/w2 &
+//	ptaserve -addr :8080 -workers http://localhost:8081,http://localhost:8082 &
 package main
 
 import (
@@ -34,12 +43,26 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/pta"
 )
+
+// splitWorkers parses the comma-separated -workers list, dropping empties.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
 
 // options carries every flag so tests drive run() without a flag set.
 type options struct {
@@ -53,6 +76,7 @@ type options struct {
 	spillDir  string
 	maxCells  int64
 	admission string
+	workers   string
 }
 
 func main() {
@@ -67,6 +91,7 @@ func main() {
 	flag.StringVar(&opts.spillDir, "spill-dir", "", "directory for persistent matrix-cache spill (empty = disabled)")
 	flag.Int64Var(&opts.maxCells, "max-cells", 0, "admission budget: max estimated DP cells per request (0 = unlimited)")
 	flag.StringVar(&opts.admission, "admission", "reject", "over-budget policy: reject (429) or queue (serialize)")
+	flag.StringVar(&opts.workers, "workers", "", "comma-separated ptaserve worker base URLs enabling the \"dist\" strategy (this daemon coordinates)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ptaserve: ", log.LstdFlags)
@@ -86,6 +111,21 @@ func run(opts options, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
+	// With -workers this daemon also coordinates the distributed tier: the
+	// "dist" strategy scatters to the fleet, and the coordinator's
+	// ptadist_* families share this daemon's /metrics exposition.
+	reg := obs.NewRegistry()
+	if opts.workers != "" {
+		co, err := dist.New(
+			dist.WithWorkers(splitWorkers(opts.workers)...),
+			dist.WithRegistry(reg),
+		)
+		if err != nil {
+			return err
+		}
+		dist.Activate(co)
+		logger.Printf("dist strategy enabled over %d workers", len(co.Workers()))
+	}
 	srv, err := serve.New(serve.Config{
 		Engine:            engine,
 		CacheEntries:      opts.cache,
@@ -97,6 +137,7 @@ func run(opts options, logger *log.Logger) error {
 		AdmissionMaxCells: opts.maxCells,
 		AdmissionPolicy:   opts.admission,
 		Logger:            logger,
+		Metrics:           reg,
 	})
 	if err != nil {
 		return err

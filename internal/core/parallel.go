@@ -14,7 +14,7 @@ import (
 // that never interact, so
 //
 //  1. each run's optimal error curve can be computed independently (and
-//     concurrently — a bounded worker pool with per-worker scratch
+//     concurrently — a bounded worker pool with per-run scratch
 //     buffers), and
 //  2. the global optimum is an allocation of the size budget c over the
 //     runs, found by a small dynamic program over run curves:
@@ -31,14 +31,24 @@ import (
 // `parallel` and `engine` experiments.
 //
 // PTAcParallel serves size budgets; PTAeParallel computes full run curves
-// and picks the smallest total size whose optimal error fits eps·SSEmax.
+// and picks the smallest total size whose optimal error fits eps·SSEmax;
+// DPMultiParallel (multiparallel.go) serves several budgets from one set of
+// run curves. AllocateCurves/SplitAllocation/AcceptErrorBound export the
+// recombination rules so distributed coordinators that gather run curves
+// from remote workers recombine them with exactly the in-process
+// tie-breaks.
 
 // runCurve is one maximal adjacent run with its reduction error curve and
-// the split matrices needed to reconstruct any reduction size.
+// the split matrices needed to reconstruct any reduction size. The DP fill
+// state is retained across computeCurves rounds, so iterative deepening and
+// multi-budget evaluation extend a curve row by row instead of recomputing
+// it from scratch.
 type runCurve struct {
 	lo, hi int // 1-based row bounds of the run, inclusive
 	curve  []float64
 	splits [][]int32
+
+	st *dpState // retained fill state; owns private buffers
 }
 
 // decomposeRuns cuts the relation into its maximal adjacent runs.
@@ -54,9 +64,11 @@ func decomposeRuns(kn *CostKernel) []*runCurve {
 }
 
 // computeCurves fills every run's error curve up to min(run length, kcap) on
-// a pool of workers goroutines (0 = GOMAXPROCS). Each worker owns a private
-// Scratch, so the caller's Options.Scratch is never shared across
-// goroutines.
+// a pool of workers goroutines (0 = GOMAXPROCS). Curves that are already
+// long enough are untouched; shorter ones extend from their retained DP
+// state, so deepening rounds and multi-budget passes pay only for the new
+// rows. Each run owns a private Scratch, so the caller's Options.Scratch is
+// never shared across goroutines.
 func computeCurves(seq *temporal.Sequence, runs []*runCurve, kcap int, opts Options, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,10 +81,8 @@ func computeCurves(seq *temporal.Sequence, runs []*runCurve, kcap int, opts Opti
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wopts := opts
-			wopts.Scratch = &Scratch{}
 			for i := range jobs {
-				errs[i] = runs[i].compute(seq, kcap, wopts)
+				errs[i] = runs[i].extend(seq, kcap, opts)
 			}
 		}()
 	}
@@ -89,34 +99,51 @@ func computeCurves(seq *temporal.Sequence, runs []*runCurve, kcap int, opts Opti
 	return nil
 }
 
-// allocateRuns spends budgets of 1..kmax tuples over the run curves with the
-// combination DP. It returns the final row A[k] (the minimal total error of
-// reducing the whole relation to k tuples; Inf where infeasible) and the
-// per-run choice matrices for reconstruction.
-func allocateRuns(runs []*runCurve, kmax int) (final []float64, choice [][]int32) {
+// curveStats sums the DP fill counters across runs — the aggregate cost of
+// the curves backing one parallel evaluation.
+func curveStats(runs []*runCurve) DPStats {
+	var st DPStats
+	for _, rc := range runs {
+		if rc.st != nil {
+			st.Cells += rc.st.stats.Cells
+			st.InnerIters += rc.st.stats.InnerIters
+		}
+	}
+	return st
+}
+
+// AllocateCurves spends total sizes 1..kmax over per-run error curves with
+// the combination DP A[r][k] = min over j of A[r−1][k−j] + curve_r[j],
+// taking the smallest j on ties (strict improvement only). It returns the
+// final row (the minimal total error of reducing the whole relation to k
+// tuples; Inf where infeasible) and the per-run choice matrices consumed by
+// SplitAllocation. Exported so distributed coordinators that gather run
+// curves from remote workers recombine them with exactly the in-process
+// tie-breaks.
+func AllocateCurves(curves [][]float64, kmax int) (final []float64, choice [][]int32) {
 	const unset = -1
 	prev := make([]float64, kmax+1)
 	cur := make([]float64, kmax+1)
-	choice = make([][]int32, len(runs)) // choice[r][k] = tuples given to run r
+	choice = make([][]int32, len(curves)) // choice[r][k] = tuples given to run r
 	for k := range prev {
 		prev[k] = Inf
 	}
 	prev[0] = 0
 	minNeeded := 0
-	for r, rc := range runs {
+	for r, curve := range curves {
 		choice[r] = make([]int32, kmax+1)
 		for k := range cur {
 			cur[k] = Inf
 			choice[r][k] = unset
 		}
-		maxLen := len(rc.curve)
+		maxLen := len(curve)
 		minNeeded++ // every run contributes ≥ 1 tuple
 		for k := minNeeded; k <= kmax; k++ {
 			for j := 1; j <= maxLen && j < k+1; j++ {
 				if prev[k-j] == Inf {
 					continue
 				}
-				if e := prev[k-j] + rc.curve[j-1]; e < cur[k] {
+				if e := prev[k-j] + curve[j-1]; e < cur[k] {
 					cur[k] = e
 					choice[r][k] = int32(j)
 				}
@@ -127,18 +154,46 @@ func allocateRuns(runs []*runCurve, kmax int) (final []float64, choice [][]int32
 	return prev, choice
 }
 
-// reconstructRuns walks the choice matrices backwards from a total size k
-// and expands each run's own splits into rows.
-func reconstructRuns(kn *CostKernel, runs []*runCurve, choice [][]int32, k int) ([]temporal.SeqRow, error) {
+// SplitAllocation walks the choice matrices of AllocateCurves backwards from
+// a total size k and returns how many tuples each run receives (the entries
+// sum to k).
+func SplitAllocation(choice [][]int32, k int) ([]int, error) {
 	const unset = -1
-	alloc := make([]int, len(runs))
-	for r := len(runs) - 1; r >= 0; r-- {
+	alloc := make([]int, len(choice))
+	for r := len(choice) - 1; r >= 0; r-- {
 		j := int(choice[r][k])
 		if j == unset {
 			return nil, fmt.Errorf("core: internal error reconstructing parallel DP at run %d", r)
 		}
 		alloc[r] = j
 		k -= j
+	}
+	return alloc, nil
+}
+
+// AcceptErrorBound widens an error-budget acceptance threshold by the
+// relative-and-absolute tolerance every error-bounded evaluator in this
+// package applies, so "the error fits the bound" means the same thing
+// in-process and across a wire.
+func AcceptErrorBound(bound, maxErr float64) float64 {
+	return acceptErrorBound(bound, maxErr)
+}
+
+// allocateRuns is AllocateCurves over the runs' own curves.
+func allocateRuns(runs []*runCurve, kmax int) (final []float64, choice [][]int32) {
+	curves := make([][]float64, len(runs))
+	for r, rc := range runs {
+		curves[r] = rc.curve
+	}
+	return AllocateCurves(curves, kmax)
+}
+
+// reconstructRuns walks the choice matrices backwards from a total size k
+// and expands each run's own splits into rows.
+func reconstructRuns(kn *CostKernel, runs []*runCurve, choice [][]int32, k int) ([]temporal.SeqRow, error) {
+	alloc, err := SplitAllocation(choice, k)
+	if err != nil {
+		return nil, err
 	}
 	var rows []temporal.SeqRow
 	for r, rc := range runs {
@@ -171,7 +226,10 @@ func PTAcParallel(seq *temporal.Sequence, c int, opts Options, workers int) (*DP
 	}
 
 	runs := decomposeRuns(kn)
-	if err := computeCurves(seq, runs, c, opts, workers); err != nil {
+	// A total size of c leaves any single run at most c−R+1 tuples (every
+	// other run keeps ≥ 1), so longer per-run curves can never be chosen —
+	// the same truncation the error-bounded deepening relies on.
+	if err := computeCurves(seq, runs, c-len(runs)+1, opts, workers); err != nil {
 		return nil, err
 	}
 	final, choice := allocateRuns(runs, c)
@@ -183,6 +241,7 @@ func PTAcParallel(seq *temporal.Sequence, c int, opts Options, workers int) (*DP
 		Sequence: seq.WithRows(rows),
 		C:        c,
 		Error:    final[c],
+		Stats:    curveStats(runs),
 	}, nil
 }
 
@@ -209,8 +268,9 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 	// Iterative deepening preserves the serial evaluator's early exit: a
 	// total size of K needs per-run curves only up to K−R+1 (every other
 	// run keeps ≥ 1 tuple), so loose bounds that stop at small K never pay
-	// for full curves. Each failed round doubles K; the geometric growth
-	// bounds total work at a small constant of the final round's.
+	// for full curves. Each failed round doubles K and extends the retained
+	// per-run curves in place; the geometric growth bounds total work at a
+	// small constant of the final round's.
 	runs := decomposeRuns(kn)
 	R := len(runs)
 	for K := min(n, R+63); ; K = min(n, 2*K) {
@@ -229,6 +289,7 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 					Sequence: seq.WithRows(rows),
 					C:        k,
 					Error:    final[k],
+					Stats:    curveStats(runs),
 				}, nil
 			}
 		}
@@ -240,27 +301,38 @@ func PTAeParallel(seq *temporal.Sequence, eps float64, opts Options, workers int
 	}
 }
 
-// compute fills the run's curve and split matrices for sizes 1..min(len, c)
-// using the gap-free DP restricted to the run. The split rows must outlive
-// this call (reconstruction happens after all runs finish), so they are
-// always privately allocated, never taken from the worker's Scratch.
-func (rc *runCurve) compute(seq *temporal.Sequence, c int, opts Options) error {
-	sub := seq.WithRows(seq.Rows[rc.lo-1 : rc.hi])
-	kn, err := NewKernel(sub, opts)
-	if err != nil {
-		return err
-	}
+// extend grows the run's curve and split matrices to sizes 1..min(len, c)
+// using the gap-free DP restricted to the run, resuming from the retained
+// state when the curve is partially filled. The split rows must outlive
+// this call (reconstruction happens after all runs finish) and the state
+// must survive across rounds that may land on different worker goroutines,
+// so both use private allocations — never a caller- or worker-shared
+// Scratch.
+func (rc *runCurve) extend(seq *temporal.Sequence, c int, opts Options) error {
 	q := rc.hi - rc.lo + 1
 	kmax := min(q, c)
-	st := newDPState(kn, opts, true, true, true)
-	st.ownSplits = true
-	rc.curve = make([]float64, kmax)
-	for k := 1; k <= kmax; k++ {
-		if rc.curve[k-1], err = st.fillRow(k); err != nil {
+	if len(rc.curve) >= kmax {
+		return nil
+	}
+	if rc.st == nil {
+		sub := seq.WithRows(seq.Rows[rc.lo-1 : rc.hi])
+		sopts := opts
+		sopts.Scratch = &Scratch{} // private: retained by the state
+		kn, err := NewKernel(sub, sopts)
+		if err != nil {
 			return err
 		}
+		rc.st = newDPState(kn, sopts, true, true, true)
+		rc.st.ownSplits = true
 	}
-	rc.splits = st.splits
+	for k := len(rc.curve) + 1; k <= kmax; k++ {
+		e, err := rc.st.fillRow(k)
+		if err != nil {
+			return err
+		}
+		rc.curve = append(rc.curve, e)
+	}
+	rc.splits = rc.st.splits
 	return nil
 }
 

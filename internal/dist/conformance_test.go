@@ -1,0 +1,340 @@
+package dist
+
+// The exactness-conformance suite: "dist" output compared against the
+// serial and in-process parallel evaluators across the strategy, budget and
+// fill-algorithm matrix, over quick.Check-generated mixed, counter and
+// adversarial series, against a real 3-worker cluster (run under -race).
+//
+// What is asserted, and why:
+//
+//   - vs the parallel engine (WithParallelism): everything bitwise — rows,
+//     C, and the Error float's exact bits. dist reimplements PTAcParallel /
+//     PTAeParallel with the curve computation moved across HTTP, so any
+//     drift here is a bug.
+//   - vs the serial evaluator: C always equal, Error equal to within float
+//     summation reassociation (the run-decomposed pass adds per-run errors
+//     in a different order), and rows BITWISE equal whenever the optimum is
+//     unique. The mixed and counter generators draw continuous values, so
+//     ties between candidate split sets have probability zero and the
+//     byte-identity assertion holds unconditionally. The adversarial
+//     generator manufactures ties on purpose (integer plateaus), where any
+//     optimal split set is acceptable; there the suite asserts the relaxed
+//     contract (same C, same error, valid series) plus full byte-identity
+//     to the parallel engine, which pins ONE deterministic choice.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dist/disttest"
+	"repro/internal/serve"
+	"repro/internal/temporal"
+	"repro/pta"
+)
+
+// newTestCoordinator wires a coordinator to the cluster with test-friendly
+// retry pacing.
+func newTestCoordinator(t testing.TB, cluster *disttest.Cluster, extra ...Option) *Coordinator {
+	t.Helper()
+	opts := append([]Option{
+		WithWorkers(cluster.URLs()...),
+		WithBackoff(time.Millisecond),
+		WithRetries(4),
+		WithShardTimeout(30 * time.Second),
+	}, extra...)
+	co, err := New(opts...)
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	return co
+}
+
+// genSeries builds a multi-group series with random gap structure.
+// Modes: "mixed" is a continuous random walk (tie-free), "counter" is a
+// monotone cumulative counter with continuous increments (tie-free),
+// "adversarial" is integer plateaus engineered for DP ties.
+func genSeries(rng *rand.Rand, mode string) *pta.Series {
+	groups := 1 + rng.Intn(3)
+	p := 1 + rng.Intn(2)
+	aggs := make([]string, p)
+	for d := range aggs {
+		aggs[d] = fmt.Sprintf("v%d", d)
+	}
+	s := pta.NewSeries([]pta.Attribute{{Name: "g", Kind: temporal.KindString}}, aggs)
+	for g := 0; g < groups; g++ {
+		id := s.Groups.Intern([]temporal.Datum{temporal.String(fmt.Sprintf("G%d", g))})
+		rows := 3 + rng.Intn(18)
+		tcur := int64(rng.Intn(4))
+		walk := make([]float64, p)
+		for d := range walk {
+			walk[d] = 10 * rng.Float64()
+		}
+		for i := 0; i < rows; i++ {
+			if i > 0 && rng.Float64() < 0.3 {
+				tcur += int64(2 + rng.Intn(4)) // open a gap: a new run starts
+			}
+			span := int64(1 + rng.Intn(3))
+			row := pta.Row{
+				Group: id,
+				Aggs:  make([]float64, p),
+				T: pta.Interval{
+					Start: pta.Chronon(tcur),
+					End:   pta.Chronon(tcur + span - 1),
+				},
+			}
+			for d := 0; d < p; d++ {
+				switch mode {
+				case "counter":
+					walk[d] += rng.Float64() * 3
+					row.Aggs[d] = walk[d]
+				case "adversarial":
+					row.Aggs[d] = float64(rng.Intn(3))
+				default: // mixed
+					walk[d] += rng.NormFloat64()
+					row.Aggs[d] = walk[d]
+				}
+			}
+			s.Rows = append(s.Rows, row)
+			tcur += span
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// bitIdentical reports whether two series have byte-for-byte equal rows:
+// same groups, same intervals, and aggregate floats with identical bits.
+func bitIdentical(a, b *pta.Series) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.T != rb.T || len(ra.Aggs) != len(rb.Aggs) {
+			return false
+		}
+		if !temporal.DatumsEqual(a.Groups.Values(ra.Group), b.Groups.Values(rb.Group)) {
+			return false
+		}
+		for d := range ra.Aggs {
+			if math.Float64bits(ra.Aggs[d]) != math.Float64bits(rb.Aggs[d]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// relClose reports |a−b| within tol relative to their magnitude.
+func relClose(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+// budgetsFor enumerates the budget matrix for one generated series: both
+// budget kinds at their interesting corners plus one random interior point.
+func budgetsFor(rng *rand.Rand, s *pta.Series) []pta.Budget {
+	n, cmin := s.Len(), s.CMin()
+	var out []pta.Budget
+	seen := map[int]bool{}
+	for _, c := range []int{cmin, (cmin + n) / 2, n - 1, n} {
+		if c >= cmin && c <= n && !seen[c] {
+			seen[c] = true
+			out = append(out, pta.Size(c))
+		}
+	}
+	for _, eps := range []float64{0, 0.2 + 0.6*rng.Float64(), 1} {
+		out = append(out, pta.ErrorBound(eps))
+	}
+	return out
+}
+
+func strategyFor(b pta.Budget) string {
+	if b.Kind() == pta.BudgetError {
+		return "ptae"
+	}
+	return "ptac"
+}
+
+// TestDistConformance is the headline suite: for each generator mode,
+// quick.Check draws seeds, and every (series, budget) cell is compressed
+// three ways — distributed, in-process parallel, serial — and compared.
+func TestDistConformance(t *testing.T) {
+	cluster := disttest.NewCluster(t, 3, serve.Config{})
+	co := newTestCoordinator(t, cluster)
+	serial, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pta.New(pta.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	maxCount := 6
+	if testing.Short() {
+		maxCount = 2
+	}
+	for _, mode := range []string{"mixed", "counter", "adversarial"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				s := genSeries(rng, mode)
+				if err := s.Validate(); err != nil {
+					t.Fatalf("seed %d: generated series invalid: %v", seed, err)
+				}
+				for _, b := range budgetsFor(rng, s) {
+					if !checkCell(t, ctx, co, serial, par, s, b, pta.Options{}, mode, seed) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// checkCell runs one (series, budget) cell through all three evaluators and
+// applies the conformance contract described in the file comment.
+func checkCell(t *testing.T, ctx context.Context, co *Coordinator, serial, par *pta.Engine,
+	s *pta.Series, b pta.Budget, opts pta.Options, mode string, seed int64) bool {
+	t.Helper()
+	name := fmt.Sprintf("seed %d budget %v", seed, b)
+
+	dres, err := co.Compress(ctx, s, b, opts)
+	if err != nil {
+		t.Errorf("%s: dist: %v", name, err)
+		return false
+	}
+	strat := strategyFor(b)
+	plan := pta.Plan{Strategy: strat, Budget: b, Options: &opts}
+	pres, err := par.Compress(ctx, s, plan)
+	if err != nil {
+		t.Errorf("%s: parallel %s: %v", name, strat, err)
+		return false
+	}
+	sres, err := serial.Compress(ctx, s, plan)
+	if err != nil {
+		t.Errorf("%s: serial %s: %v", name, strat, err)
+		return false
+	}
+
+	// Bitwise contract against the in-process parallel evaluator.
+	if dres.C != pres.C {
+		t.Errorf("%s: dist C=%d, parallel C=%d", name, dres.C, pres.C)
+		return false
+	}
+	if math.Float64bits(dres.Error) != math.Float64bits(pres.Error) {
+		t.Errorf("%s: dist Error bits %x (%v), parallel %x (%v)",
+			name, math.Float64bits(dres.Error), dres.Error,
+			math.Float64bits(pres.Error), pres.Error)
+		return false
+	}
+	if !bitIdentical(dres.Series, pres.Series) {
+		t.Errorf("%s: dist rows differ from parallel evaluator", name)
+		return false
+	}
+
+	// Contract against the serial evaluator.
+	if dres.C != sres.C {
+		t.Errorf("%s: dist C=%d, serial C=%d", name, dres.C, sres.C)
+		return false
+	}
+	if !relClose(dres.Error, sres.Error, 1e-9) {
+		t.Errorf("%s: dist Error %v vs serial %v beyond reassociation tolerance", name, dres.Error, sres.Error)
+		return false
+	}
+	if mode != "adversarial" && !bitIdentical(dres.Series, sres.Series) {
+		t.Errorf("%s: dist rows differ from serial on tie-free data", name)
+		return false
+	}
+	if err := dres.Series.Validate(); err != nil {
+		t.Errorf("%s: dist result invalid: %v", name, err)
+		return false
+	}
+	if dres.Strategy == "" || dres.Budget.IsZero() {
+		t.Errorf("%s: dist result missing strategy/budget metadata", name)
+		return false
+	}
+
+	// Every other exact strategy realizes the same optimum: C and error
+	// must agree even where split sets legitimately may not.
+	if b.Kind() == pta.BudgetSize {
+		for _, alt := range []string{"dpbasic", "ptac-imax", "ptac-jmin"} {
+			ares, err := serial.Compress(ctx, s, pta.Plan{Strategy: alt, Budget: b, Options: &opts})
+			if err != nil {
+				t.Errorf("%s: serial %s: %v", name, alt, err)
+				return false
+			}
+			if ares.C != dres.C || !relClose(ares.Error, dres.Error, 1e-9) {
+				t.Errorf("%s: dist (C=%d err=%v) disagrees with exact strategy %s (C=%d err=%v)",
+					name, dres.C, dres.Error, alt, ares.C, ares.Error)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDistConformanceFillAlgos pins the fill-algorithm matrix: every row
+// fill must produce byte-identical distributed results.
+func TestDistConformanceFillAlgos(t *testing.T) {
+	cluster := disttest.NewCluster(t, 3, serve.Config{})
+	co := newTestCoordinator(t, cluster)
+	serial, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pta.New(pta.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(7))
+	s := genSeries(rng, "mixed")
+	n, cmin := s.Len(), s.CMin()
+	budgets := []pta.Budget{pta.Size((cmin + n) / 2), pta.ErrorBound(0.35)}
+	for _, name := range pta.FillAlgoNames() {
+		algo, err := pta.ParseFillAlgo(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range budgets {
+			if !checkCell(t, ctx, co, serial, par, s, b, pta.Options{FillAlgo: algo}, "mixed", 7) {
+				t.Fatalf("fill algo %s failed conformance", name)
+			}
+		}
+	}
+}
+
+// TestDistWeightsConformance checks the weighted-SSE path survives the wire.
+func TestDistWeightsConformance(t *testing.T) {
+	cluster := disttest.NewCluster(t, 2, serve.Config{})
+	co := newTestCoordinator(t, cluster)
+	serial, err := pta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pta.New(pta.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	s := genSeries(rng, "mixed")
+	opts := pta.Options{Weights: []float64{2.5, 0.75}[:len(s.AggNames)]}
+	for _, b := range []pta.Budget{pta.Size(s.CMin()), pta.ErrorBound(0.5)} {
+		checkCell(t, context.Background(), co, serial, par, s, b, opts, "mixed", 11)
+	}
+}

@@ -1,0 +1,581 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/pta"
+)
+
+const (
+	defaultVnodes       = 96
+	defaultRetries      = 3
+	defaultBackoff      = 25 * time.Millisecond
+	defaultShardTimeout = 15 * time.Second
+	defaultFanout       = 16
+	routedMemoLimit     = 4096
+	maxResponseBytes    = 64 << 20
+)
+
+// Coordinator scatters a series over ptaserve workers and gathers an exact
+// result. The unit of distribution is the maximal gap-free run (shards
+// never span aggregation groups — every group boundary is a run boundary):
+// each shard's error curve is fetched from the worker that consistent
+// hashing assigns its fingerprint, so repeated compressions of the same
+// series hit the same workers' matrix and spill caches, and the curves are
+// recombined locally with the in-process allocation DP and the global cost
+// kernel. Workers therefore only contribute curve values and split
+// boundaries — every returned row is re-derived from the coordinator's own
+// kernel, which is what makes the distributed result bit-identical to
+// core.PTAcParallel/PTAeParallel (see docs/ARCHITECTURE.md § Distribution).
+//
+// A Coordinator is safe for concurrent use.
+type Coordinator struct {
+	client  *http.Client
+	timeout time.Duration // per shard attempt
+	retries int           // extra attempts per shard fetch
+	backoff time.Duration // first retry delay; doubles per retry
+	vnodes  int
+	fanout  int // concurrent shard fetches
+
+	m *metrics
+
+	mu     sync.Mutex
+	ring   *ring
+	routed map[string]string // fingerprint → primary worker; ring-move accounting
+}
+
+// Option configures a Coordinator at construction.
+type Option func(*Coordinator) error
+
+// WithWorkers sets the worker base URLs (e.g. "http://10.0.0.7:8080").
+func WithWorkers(urls ...string) Option {
+	return func(c *Coordinator) error {
+		ws, err := normalizeWorkers(urls)
+		if err != nil {
+			return err
+		}
+		c.ring = newRing(ws, c.vnodes)
+		return nil
+	}
+}
+
+// WithHTTPClient replaces the HTTP client shard requests use.
+func WithHTTPClient(client *http.Client) Option {
+	return func(c *Coordinator) error {
+		if client == nil {
+			return fmt.Errorf("dist: WithHTTPClient(nil)")
+		}
+		c.client = client
+		return nil
+	}
+}
+
+// WithShardTimeout bounds one shard request attempt (default 15s); the
+// caller's context still bounds the whole compression.
+func WithShardTimeout(d time.Duration) Option {
+	return func(c *Coordinator) error {
+		if d <= 0 {
+			return fmt.Errorf("dist: WithShardTimeout(%v): want > 0", d)
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// WithRetries sets how many extra attempts a failed shard fetch gets; each
+// retry walks to the next surviving ring replica (default 3).
+func WithRetries(n int) Option {
+	return func(c *Coordinator) error {
+		if n < 0 {
+			return fmt.Errorf("dist: WithRetries(%d): want >= 0", n)
+		}
+		c.retries = n
+		return nil
+	}
+}
+
+// WithBackoff sets the delay before the first retry; it doubles per retry
+// (default 25ms).
+func WithBackoff(d time.Duration) Option {
+	return func(c *Coordinator) error {
+		if d < 0 {
+			return fmt.Errorf("dist: WithBackoff(%v): want >= 0", d)
+		}
+		c.backoff = d
+		return nil
+	}
+}
+
+// WithVirtualNodes sets the points per worker on the hash ring — more
+// points, smoother balance (default 96).
+func WithVirtualNodes(n int) Option {
+	return func(c *Coordinator) error {
+		if n < 1 {
+			return fmt.Errorf("dist: WithVirtualNodes(%d): want >= 1", n)
+		}
+		c.vnodes = n
+		return nil
+	}
+}
+
+// WithFanout bounds concurrent shard fetches per compression (default 16).
+func WithFanout(n int) Option {
+	return func(c *Coordinator) error {
+		if n < 1 {
+			return fmt.Errorf("dist: WithFanout(%d): want >= 1", n)
+		}
+		c.fanout = n
+		return nil
+	}
+}
+
+// WithRegistry puts the coordinator's metric families on reg instead of a
+// private registry, so one /metrics exposition carries them.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(c *Coordinator) error {
+		if reg == nil {
+			return fmt.Errorf("dist: WithRegistry(nil)")
+		}
+		c.m = newMetrics(reg)
+		return nil
+	}
+}
+
+// New builds a Coordinator. Note WithVirtualNodes must precede WithWorkers
+// to affect the initial ring.
+func New(opts ...Option) (*Coordinator, error) {
+	c := &Coordinator{
+		client:  &http.Client{},
+		timeout: defaultShardTimeout,
+		retries: defaultRetries,
+		backoff: defaultBackoff,
+		vnodes:  defaultVnodes,
+		fanout:  defaultFanout,
+		routed:  make(map[string]string),
+	}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.ring == nil {
+		c.ring = newRing(nil, c.vnodes)
+	}
+	if c.m == nil {
+		c.m = newMetrics(obs.NewRegistry())
+	}
+	return c, nil
+}
+
+// normalizeWorkers trims trailing slashes and rejects empties/duplicates.
+func normalizeWorkers(urls []string) ([]string, error) {
+	out := make([]string, 0, len(urls))
+	seen := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("dist: empty worker URL")
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("dist: duplicate worker URL %q", u)
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// Registry returns the registry carrying the coordinator's metrics.
+func (c *Coordinator) Registry() *obs.Registry { return c.m.reg }
+
+// Workers returns the current worker set.
+func (c *Coordinator) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.ring.workers...)
+}
+
+// SetWorkers replaces the worker set, rebuilding the ring. Recently routed
+// series whose primary worker changes are counted on the ring-moves metric
+// — the live measure of how much cache heat a membership change costs.
+func (c *Coordinator) SetWorkers(urls ...string) error {
+	ws, err := normalizeWorkers(urls)
+	if err != nil {
+		return err
+	}
+	moves := 0
+	c.mu.Lock()
+	c.ring = newRing(ws, c.vnodes)
+	for key, w := range c.routed {
+		if nw := c.ring.lookup(key); nw != w {
+			moves++
+			c.routed[key] = nw
+		}
+	}
+	c.mu.Unlock()
+	c.m.ringMoves.Add(uint64(moves))
+	return nil
+}
+
+// route returns the key's failover sequence (primary first) and memoizes
+// the primary for ring-move accounting.
+func (c *Coordinator) route(key string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.ring.sequence(key, len(c.ring.workers))
+	if len(seq) > 0 {
+		if len(c.routed) >= routedMemoLimit {
+			c.routed = make(map[string]string) // bounded memo: reset, not LRU
+		}
+		c.routed[key] = seq[0]
+	}
+	return seq
+}
+
+// shard is one maximal gap-free run of the series with the state gathered
+// from workers: the error curve (curve[k-1] = optimal error at size k) and,
+// per size, the global row ranges the worker's optimal reduction merges.
+type shard struct {
+	lo, hi int // 1-based row bounds in the global series
+	sub    *pta.Series
+	fp     string
+	curve  []float64
+	ranges [][][2]int32 // ranges[k-1][i] = global (first,last) of merged row i
+	cells  int64        // worker-reported DP cost, summed over rounds
+	inner  int64
+}
+
+// makeShards cuts the series into shards along the kernel's gap positions —
+// exactly core.decomposeRuns' decomposition.
+func makeShards(s *pta.Series, kn *core.CostKernel) []*shard {
+	bounds := append(append([]int(nil), kn.Gaps()...), s.Len())
+	shards := make([]*shard, 0, len(bounds))
+	lo := 1
+	for _, g := range bounds {
+		sub := s.WithRows(s.Rows[lo-1 : g])
+		shards = append(shards, &shard{lo: lo, hi: g, sub: sub, fp: pta.Fingerprint(sub)})
+		lo = g + 1
+	}
+	return shards
+}
+
+// Compress evaluates one budget over the series using the worker fleet and
+// returns a result bit-identical to the in-process parallel evaluators.
+// opts forwards Weights and FillAlgo to the workers; ReadAhead does not
+// apply to the exact DP.
+func (c *Coordinator) Compress(ctx context.Context, s *pta.Series, b pta.Budget, opts pta.Options) (*pta.Result, error) {
+	res, err := c.compress(ctx, s, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = "dist"
+	res.Budget = b
+	return res, nil
+}
+
+func (c *Coordinator) compress(ctx context.Context, s *pta.Series, b pta.Budget, opts pta.Options) (*pta.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	if n == 0 {
+		if b.Kind() == pta.BudgetSize && b.C() != 0 {
+			return nil, fmt.Errorf("dist: size bound %d for an empty relation", b.C())
+		}
+		return &pta.Result{Series: s.WithRows(nil)}, nil
+	}
+	if len(c.Workers()) == 0 {
+		return nil, fmt.Errorf("dist: no workers configured")
+	}
+	kn, err := core.NewKernel(s, core.Options{Weights: opts.Weights, Ctx: ctx})
+	if err != nil {
+		return nil, err
+	}
+	c.m.compressions.Inc()
+
+	if b.Kind() == pta.BudgetSize {
+		cb := b.C()
+		if cmin := kn.CMin(); cb < cmin {
+			return nil, &core.InfeasibleSizeError{C: cb, CMin: cmin}
+		}
+		if cb >= n {
+			return &pta.Result{Series: s.Clone(), C: n}, nil
+		}
+		shards := makeShards(s, kn)
+		// Per-shard curves past cb−R+1 rows can never be chosen (every
+		// other shard keeps ≥ 1 tuple) — the same truncation PTAcParallel
+		// applies.
+		if err := c.gather(ctx, shards, cb-len(shards)+1, opts); err != nil {
+			return nil, err
+		}
+		final, choice := core.AllocateCurves(curvesOf(shards), cb)
+		return finishResult(s, kn, shards, final, choice, cb)
+	}
+
+	// Error bound: iterative deepening exactly like PTAeParallel — the
+	// acceptance threshold, the deepening schedule and the curve truncation
+	// all match, so the chosen size k is identical. Each round widens the
+	// per-shard fetch to only the new curve rows; the workers' matrix
+	// caches make the repeat visits cheap.
+	maxErr := kn.MaxError()
+	accept := core.AcceptErrorBound(b.Eps()*maxErr, maxErr)
+	shards := makeShards(s, kn)
+	R := len(shards)
+	for K := min(n, R+63); ; K = min(n, 2*K) {
+		if err := c.gather(ctx, shards, K-R+1, opts); err != nil {
+			return nil, err
+		}
+		final, choice := core.AllocateCurves(curvesOf(shards), K)
+		for k := R; k <= K; k++ {
+			if final[k] <= accept {
+				return finishResult(s, kn, shards, final, choice, k)
+			}
+		}
+		if K == n {
+			return nil, fmt.Errorf("dist: internal error: error bound not reached at full size")
+		}
+	}
+}
+
+func curvesOf(shards []*shard) [][]float64 {
+	curves := make([][]float64, len(shards))
+	for i, sh := range shards {
+		curves[i] = sh.curve
+	}
+	return curves
+}
+
+// finishResult recombines gathered shard state into the final reduction:
+// the allocation DP picks each shard's size, and every output row is
+// merged from the coordinator's own global kernel over the worker-reported
+// split ranges — workers never contribute aggregate arithmetic.
+func finishResult(s *pta.Series, kn *core.CostKernel, shards []*shard, final []float64, choice [][]int32, k int) (*pta.Result, error) {
+	alloc, err := core.SplitAllocation(choice, k)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]pta.Row, 0, k)
+	var stats pta.Stats
+	for r, sh := range shards {
+		for _, rg := range sh.ranges[alloc[r]-1] {
+			rows = append(rows, kn.MergeRange(int(rg[0]), int(rg[1])))
+		}
+		stats.Cells += sh.cells
+		stats.InnerIters += sh.inner
+	}
+	return &pta.Result{Series: s.WithRows(rows), C: k, Error: final[k], Stats: stats}, nil
+}
+
+// gather extends every shard's curve to min(shard length, kcap) rows,
+// fetching only missing rows, with bounded fan-out.
+func (c *Coordinator) gather(ctx context.Context, shards []*shard, kcap int, opts pta.Options) error {
+	type job struct {
+		sh       *shard
+		from, to int
+	}
+	var jobs []job
+	for _, sh := range shards {
+		to := min(sh.hi-sh.lo+1, kcap)
+		if from := len(sh.curve) + 1; from <= to {
+			jobs = append(jobs, job{sh, from, to})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	c.m.shards.Add(uint64(len(jobs)))
+	sem := make(chan struct{}, c.fanout)
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = c.fetchShard(ctx, j.sh, j.from, j.to, opts)
+		}(i, j)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// fetchShard asks a worker for the shard's optimal reductions at every size
+// in [from, to] (one /v1/compress/many round trip) and absorbs the response.
+// Failures — transport errors, timeouts, non-200 statuses, corrupt or
+// inconsistent bodies — retry with doubled backoff against the next ring
+// replica, so any surviving worker can serve any shard (exactness never
+// depends on placement; placement is only cache affinity).
+func (c *Coordinator) fetchShard(ctx context.Context, sh *shard, from, to int, opts pta.Options) error {
+	plans := make([]serve.PlanWire, 0, to-from+1)
+	fill := ""
+	if opts.FillAlgo != 0 {
+		fill = opts.FillAlgo.String()
+	}
+	for k := from; k <= to; k++ {
+		plans = append(plans, serve.PlanWire{
+			Strategy: "ptac",
+			Budget:   fmt.Sprintf("c=%d", k),
+			Weights:  opts.Weights,
+			FillAlgo: fill,
+		})
+	}
+	body, err := json.Marshal(serve.CompressManyRequest{Series: serve.EncodeSeries(sh.sub), Plans: plans})
+	if err != nil {
+		return err
+	}
+	cands := c.route(sh.fp)
+	if len(cands) == 0 {
+		return fmt.Errorf("dist: no workers configured")
+	}
+	attempts := c.retries + 1
+	backoff := c.backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.m.retries.Inc()
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return fmt.Errorf("dist: shard rows %d-%d: %w", sh.lo, sh.hi, context.Cause(ctx))
+			}
+			backoff *= 2
+		}
+		w := cands[a%len(cands)]
+		results, err := c.post(ctx, w, body)
+		if err == nil {
+			if err = sh.absorb(results, from, to); err == nil {
+				return nil
+			}
+		}
+		lastErr = fmt.Errorf("worker %s: %w", w, err)
+		if ctx.Err() != nil {
+			return fmt.Errorf("dist: shard rows %d-%d: %w", sh.lo, sh.hi, lastErr)
+		}
+	}
+	return fmt.Errorf("dist: shard rows %d-%d: %d attempts failed: %w", sh.lo, sh.hi, attempts, lastErr)
+}
+
+// post runs one worker round trip under the per-shard timeout.
+func (c *Coordinator) post(ctx context.Context, worker string, body []byte) ([]serve.ResultWire, error) {
+	tctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, worker+"/v1/compress/many", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	c.m.workerSeconds.With(worker).Observe(time.Since(start).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env serve.ErrorEnvelope
+		if jerr := json.Unmarshal(data, &env); jerr == nil && env.Error.Message != "" {
+			return nil, fmt.Errorf("status %d: %s (%s)", resp.StatusCode, env.Error.Message, env.Error.Code)
+		}
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out serve.ManyResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return out.Results, nil
+}
+
+// absorb validates one worker response carrying sizes from..to and commits
+// it to the shard's curve and range table. Every inconsistency is an error:
+// the caller treats a corrupt response exactly like a failed one and
+// retries elsewhere, so a misbehaving worker can delay a result but never
+// distort it.
+func (sh *shard) absorb(results []serve.ResultWire, from, to int) error {
+	if len(results) != to-from+1 {
+		return fmt.Errorf("%d results for %d requested sizes", len(results), to-from+1)
+	}
+	if len(sh.curve) != from-1 {
+		return fmt.Errorf("internal error: curve has %d rows before absorbing size %d", len(sh.curve), from)
+	}
+	ranges := make([][][2]int32, len(results))
+	var cells, inner int64
+	for i, res := range results {
+		k := from + i
+		if res.C != k || len(res.Rows) != k {
+			return fmt.Errorf("size %d answered with c=%d over %d rows", k, res.C, len(res.Rows))
+		}
+		if math.IsNaN(res.Error) || math.IsInf(res.Error, 0) || res.Error < 0 {
+			return fmt.Errorf("size %d reports error %v", k, res.Error)
+		}
+		rgs, err := sh.mapRows(res.Rows)
+		if err != nil {
+			return fmt.Errorf("size %d: %w", k, err)
+		}
+		ranges[i] = rgs
+		// Every result of one amortized worker pass reports the shared
+		// fill cost; count it once per round trip.
+		cells = max(cells, res.Stats.Cells)
+		inner = max(inner, res.Stats.InnerIters)
+	}
+	for i, res := range results {
+		sh.curve = append(sh.curve, res.Error)
+		sh.ranges = append(sh.ranges, ranges[i])
+	}
+	sh.cells += cells
+	sh.inner += inner
+	return nil
+}
+
+// mapRows maps a worker result's rows back onto global row ranges by
+// matching interval boundaries against the shard's input rows: the worker
+// only merges adjacent rows, so the rows must tile the shard exactly. The
+// worker's aggregate values are deliberately ignored — recombination
+// re-merges from the coordinator's kernel.
+func (sh *shard) mapRows(rows []serve.RowWire) ([][2]int32, error) {
+	out := make([][2]int32, len(rows))
+	p := sh.lo
+	for i, r := range rows {
+		if p > sh.hi {
+			return nil, fmt.Errorf("result rows overrun the shard")
+		}
+		if int64(sh.sub.Rows[p-sh.lo].T.Start) != r.Start {
+			return nil, fmt.Errorf("result row %d starts at %d, shard expects %d", i, r.Start, sh.sub.Rows[p-sh.lo].T.Start)
+		}
+		j := p
+		for ; j <= sh.hi; j++ {
+			if int64(sh.sub.Rows[j-sh.lo].T.End) == r.End {
+				break
+			}
+		}
+		if j > sh.hi {
+			return nil, fmt.Errorf("result row %d ends at %d, not on a shard row boundary", i, r.End)
+		}
+		out[i] = [2]int32{int32(p), int32(j)}
+		p = j + 1
+	}
+	if p != sh.hi+1 {
+		return nil, fmt.Errorf("result rows cover %d of %d shard rows", p-sh.lo, sh.hi-sh.lo+1)
+	}
+	return out, nil
+}

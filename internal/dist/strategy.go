@@ -1,0 +1,41 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/pta"
+)
+
+// active is the coordinator behind the registry's "dist" strategy. The
+// registry API passes no configuration, so the process installs its
+// coordinator once (cmd/ptaserve and cmd/ptacli build one from -workers).
+var active atomic.Pointer[Coordinator]
+
+// Activate installs c as the coordinator the "dist" strategy evaluates
+// with, returning the previous one (nil if none) so tests can restore it.
+func Activate(c *Coordinator) *Coordinator {
+	return active.Swap(c)
+}
+
+// evaluator adapts the Coordinator to the strategy registry.
+type evaluator struct{}
+
+func (evaluator) Name() string { return "dist" }
+
+func (evaluator) Description() string {
+	return "exact DP scattered over ptaserve workers by gap-free run, gathered bit-identically (needs -workers)"
+}
+
+func (evaluator) Supports(pta.BudgetKind) bool { return true }
+
+func (evaluator) Evaluate(ctx context.Context, s *pta.Series, b pta.Budget, opts pta.Options) (*pta.Result, error) {
+	co := active.Load()
+	if co == nil {
+		return nil, fmt.Errorf("dist: no coordinator configured (dist.Activate, or -workers on ptaserve/ptacli)")
+	}
+	return co.Compress(ctx, s, b, opts)
+}
+
+func init() { pta.Register(evaluator{}) }

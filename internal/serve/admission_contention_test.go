@@ -1,0 +1,199 @@
+package serve
+
+// Error-path tests for admission under contention: the exact Retry-After
+// contract of a 429, and the queue policy's one-at-a-time FIFO behavior
+// when several over-budget requests pile up on the oversized slot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterHeaderContents pins the full 429 contract: the exact
+// Retry-After value (the documented one second), the JSON content type, and
+// a body whose fields agree with the header-level verdict.
+func TestRetryAfterHeaderContents(t *testing.T) {
+	_, ts := newTestServer(t, Config{AdmissionMaxCells: 10})
+	raw, _ := json.Marshal(compressRequest{
+		Series: projWire(), // 7 rows × c=4 = 28 cells > 10
+		Plan:   planWire{Strategy: "ptac", Budget: "c=4"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/compress", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q (delay-seconds form)", ra, "1")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if status := errorField(t, out, "status"); status != float64(http.StatusTooManyRequests) {
+		t.Errorf("body status = %v, want 429", status)
+	}
+	if msg := errorField(t, out, "message"); msg != "estimated cost 28 cells exceeds the admission budget 10" {
+		t.Errorf("message = %q", msg)
+	}
+
+	// A non-admission failure must NOT carry Retry-After: the header means
+	// "try the same request later", which is wrong advice for a budget that
+	// can never fit.
+	raw, _ = json.Marshal(compressRequest{
+		Series: projWire(),
+		Plan:   planWire{Strategy: "ptac", Budget: "c=1"}, // 7 cells, passes admission; infeasible
+	})
+	resp2, err := http.Post(ts.URL+"/v1/compress", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible budget: status %d, want 422", resp2.StatusCode)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra != "" {
+		t.Errorf("422 carries Retry-After %q; only admission 429s may", ra)
+	}
+}
+
+// bigWire builds an n-row single-group series with distinct values per
+// seed, so each request fingerprints to its own cache key and pays a real
+// fill — keeping queued evaluations long enough to observe their order.
+func bigWire(seed int64, n int) seriesWire {
+	rng := rand.New(rand.NewSource(seed))
+	w := seriesWire{
+		GroupAttrs: []attrWire{{Name: "g", Kind: "string"}},
+		AggNames:   []string{"v"},
+	}
+	for i := 0; i < n; i++ {
+		w.Rows = append(w.Rows, rowWire{
+			Group: []any{"only"},
+			Aggs:  []float64{rng.NormFloat64()},
+			Start: int64(i),
+			End:   int64(i),
+		})
+	}
+	return w
+}
+
+// TestAdmissionQueueOrderingUnderContention: with the oversized slot held,
+// several over-budget requests queue instead of rejecting; none may
+// complete while the slot is held; on release they run one at a time in
+// arrival order, each to a 200.
+func TestAdmissionQueueOrderingUnderContention(t *testing.T) {
+	const waiters = 3
+	const n = 300
+	s, ts := newTestServer(t, Config{AdmissionMaxCells: 1000, AdmissionPolicy: AdmissionQueue})
+	s.oversized <- struct{}{} // hold the single oversized slot
+
+	var (
+		mu        sync.Mutex
+		finished  []int
+		completed atomic.Int64
+		wg        sync.WaitGroup
+		errs      [waiters]error
+		statuses  [waiters]int
+	)
+	for i := 0; i < waiters; i++ {
+		raw, _ := json.Marshal(compressRequest{
+			Series:    bigWire(int64(i), n),
+			Plan:      planWire{Strategy: "ptac", Budget: fmt.Sprintf("c=%d", n/2)},
+			TimeoutMS: 60_000,
+		})
+		wg.Add(1)
+		go func(i int, raw []byte) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/compress", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			mu.Lock()
+			finished = append(finished, i)
+			mu.Unlock()
+			completed.Add(1)
+		}(i, raw)
+
+		// Don't launch the next request until this one is provably parked
+		// on the slot, so arrival order is deterministic.
+		deadline := time.Now().Add(10 * time.Second)
+		for s.metrics.admissionQueued.Value() != uint64(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("request %d never queued (counter at %d)", i, s.metrics.admissionQueued.Value())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The slot is still held: nobody may have finished.
+	time.Sleep(50 * time.Millisecond)
+	if got := completed.Load(); got != 0 {
+		t.Fatalf("%d queued requests completed while the oversized slot was held", got)
+	}
+	if got := s.metrics.admissionRejected.Value(); got != 0 {
+		t.Fatalf("queue policy rejected %d requests", got)
+	}
+
+	<-s.oversized // release: the queue drains one at a time
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("queued request %d: %v", i, errs[i])
+		}
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("queued request %d: status %d, want 200", i, statuses[i])
+		}
+	}
+	mu.Lock()
+	order := append([]int(nil), finished...)
+	mu.Unlock()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("completion order %v, want FIFO arrival order [0 1 2]", order)
+		}
+	}
+}
+
+// TestAdmissionQueueHonorsDeadline: a queued request gives up at its own
+// deadline with 504 instead of waiting behind the slot unboundedly.
+func TestAdmissionQueueHonorsDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{AdmissionMaxCells: 10, AdmissionPolicy: AdmissionQueue})
+	s.oversized <- struct{}{}
+	defer func() { <-s.oversized }()
+
+	raw, _ := json.Marshal(compressRequest{
+		Series:    projWire(),
+		Plan:      planWire{Strategy: "ptac", Budget: "c=4"},
+		TimeoutMS: 80,
+	})
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/compress", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: queued request waited %v", elapsed)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		t.Fatalf("status %d (%v), want 504", resp.StatusCode, out)
+	}
+}

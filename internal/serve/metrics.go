@@ -62,7 +62,10 @@ var endpointNames = []string{"compress", "compress_many", "strategies", "stats",
 // runs before the routes mount, so every endpoint's children exist by the
 // first request.
 func newServerMetrics(s *Server) *serverMetrics {
-	reg := obs.NewRegistry()
+	reg := s.cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	m := &serverMetrics{
 		reg: reg,
 		requests: reg.NewCounterVec("ptaserve_http_requests_total",

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pta"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	AdmissionPolicy string
 	// Logger receives one line per failed request (nil = standard logger).
 	Logger *log.Logger
+	// Metrics, when non-nil, is the obs.Registry the server registers its
+	// metric families on, so one /metrics exposition can carry several
+	// tiers (cmd/ptaserve shares it with the dist coordinator). nil builds
+	// a private registry. At most one Server may use a given registry —
+	// family names collide otherwise.
+	Metrics *obs.Registry
 }
 
 // Server is the HTTP serving layer: a handler tree over one pta.Engine and

@@ -278,7 +278,11 @@ func (e *Engine) Compress(ctx context.Context, s *Series, p Plan) (*Result, erro
 // pruning flags, so "ptac" and "ptae" plans pool together, in any order —
 // share one filling of the error and split-point matrices (one pass serves
 // every budget — the cheap way to serve multiple resolutions of one
-// series). Other plans evaluate individually. Results align with plans;
+// series). On a parallel engine with a decomposable series, fully pruned
+// groups run the run-decomposed multi-budget pass instead: per-run curves
+// are computed once on the worker pool and every budget in the group is
+// answered from them, so group parallelism and cross-budget amortization
+// compose. Other plans evaluate individually. Results align with plans;
 // the first failure aborts the call.
 func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*Result, error) {
 	if ctx == nil {
@@ -289,14 +293,10 @@ func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*
 	// Group amortizable plans by their DP pruning flags: exact-DP
 	// evaluators with default options share one matrix pass even across
 	// strategy names ("ptac" and "ptae" are the same fully pruned DP).
-	// Everything else evaluates individually. The shared pass is
-	// monolithic and serial, so on a parallel engine with a decomposable
-	// series the per-plan group-parallel path wins instead — sharing the
-	// per-run curves across budgets is the open follow-up that would give
-	// both at once.
+	// Everything else evaluates individually.
 	type dpKey struct{ pruneI, pruneJ bool }
 	groups := map[dpKey][]int{}
-	if (e.workers() == 1 || s.CMin() <= 1) && s.Len() > 0 {
+	if s.Len() > 0 {
 		for i, p := range plans {
 			ev, err := e.resolve(p.Strategy, p.Budget)
 			if err != nil {
@@ -317,9 +317,11 @@ func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*
 
 	done := make([]bool, len(plans))
 	if len(groups) > 0 {
-		// One kernel serves every group: singleton groups still skip a
-		// prefix build, and groups of two or more plans share the matrix
-		// pass on top of it.
+		// One kernel serves every serial group: singleton groups still skip
+		// a prefix build, and groups of two or more plans share the matrix
+		// pass on top of it. Fully pruned groups on a parallel engine skip
+		// the shared kernel and build per-run sub-kernels on the worker
+		// pool instead.
 		scratch := e.pool.acquire()
 		released := false
 		release := func() {
@@ -332,16 +334,8 @@ func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*
 		opts := e.opts
 		opts.scratch = scratch
 		copts := opts.coreOptionsCtx(ctx)
-		kernel, err := core.NewKernel(s, copts)
-		if err != nil {
-			var blame Plan
-			for _, g := range groups {
-				blame = plans[g[0]]
-				break
-			}
-			_, ferr := e.finish(blame, nil, err)
-			return nil, ferr
-		}
+		parallelRuns := e.workers() != 1 && s.CMin() > 1
+		var kernel *core.CostKernel
 		for key, g := range groups {
 			budgets := make([]core.MultiBudget, len(g))
 			for j, i := range g {
@@ -352,7 +346,22 @@ func (e *Engine) CompressMany(ctx context.Context, s *Series, plans []Plan) ([]*
 					budgets[j] = core.MultiBudget{Eps: b.Eps()}
 				}
 			}
-			dpResults, err := core.DPMultiKernel(kernel, budgets, copts, key.pruneI, key.pruneJ)
+			var dpResults []*core.DPResult
+			var err error
+			if parallelRuns && key.pruneI && key.pruneJ {
+				// The run-decomposed pass spins per-run scratch internally;
+				// the pooled scratch stays out to avoid cross-goroutine
+				// sharing — exactly as Compress's parallel path.
+				dpResults, err = core.DPMultiParallel(s, budgets, e.opts.coreOptionsCtx(ctx), e.workers())
+			} else {
+				if kernel == nil {
+					if kernel, err = core.NewKernel(s, copts); err != nil {
+						_, ferr := e.finish(plans[g[0]], nil, err)
+						return nil, ferr
+					}
+				}
+				dpResults, err = core.DPMultiKernel(kernel, budgets, copts, key.pruneI, key.pruneJ)
+			}
 			if err != nil {
 				// Attribute the failure to the plan that caused it (an
 				// infeasible size bound names its c), or to the group head.
