@@ -13,8 +13,13 @@ type DPStats struct {
 	// Cells is the number of matrix cells (k, i) evaluated.
 	Cells int64
 	// InnerIters is the number of split-point candidates evaluated across
-	// all cells (for the monotone fills: candidate-matrix evaluations).
+	// all cells (for the monotone fills: candidate-matrix evaluations;
+	// envelope bound probes are O(1) per block and not counted).
 	InnerIters int64
+	// EnvelopeSkips is the number of completion-scan candidates discarded
+	// in O(1) range skips by the envelope bounds (see envComplete) instead
+	// of being evaluated — the work the envelope pruning saved.
+	EnvelopeSkips int64
 }
 
 // DPResult is the outcome of an exact PTA evaluation.
@@ -50,13 +55,23 @@ type dpState struct {
 	splits         [][]int32 // splits[k-1][i] = J[k][i]
 	stats          DPStats
 
-	rerr      func(i, j int) float64 // kernel merge-cost hot path
-	segs      []int32                // monotone fills: piecewise-monotone segment starts
-	rightGap  []int32                // monotone fills: rightmostGapBefore per position
-	smawkArg  []int32                // FillSMAWK: per-cell argmins of the current row
-	smawkBuf  []int32                // FillSMAWK: column-list arena (see smawkCarve)
-	smawkOff  int
-	fillSteps int64 // candidate evaluations since the last context poll
+	rerr       func(i, j int) float64 // kernel merge-cost hot path
+	segs       []int32                // monotone fills: piecewise-monotone segment starts
+	rightGap   []int32                // monotone fills: rightmostGapBefore per position
+	smawkArg   []int32                // FillSMAWK: per-cell argmins of the current row
+	smawkBuf   []int32                // FillSMAWK: column-list arena (see smawkCarve)
+	smawkOff   int
+	envMin     []float64 // envelope completion: per-block progressive lower bounds (see ensureEnvelope)
+	envMinPrev []float64 // envelope completion: per-block min of prevE (static bound)
+	envAt      []int32   // envelope completion: cell of each block's last refresh, −1 = never
+	envLo      []int32   // envelope completion: leftmost leaf the block's refresh state covers
+	envHi      []int32   // envelope completion: rightmost leaf the block's refresh state covers
+	envMuLo    []float64 // envelope completion: per-block per-dimension run-mean minima at refresh
+	envMuHi    []float64 // envelope completion: per-block per-dimension run-mean maxima at refresh
+	envHint    int       // envelope completion: previous cell's completion argmin, −1 = none
+	envValid   bool      // envelope state describes the current prevE row
+	onJ, onS   []int32   // FillOnline: frontier candidates and interval starts
+	fillSteps  int64     // candidate evaluations since the last context poll
 }
 
 // cancelCheckCells is how many DP candidate evaluations happen between
@@ -138,10 +153,8 @@ func (st *dpState) fillRow(k int) (float64, error) {
 	switch {
 	case k == 1:
 		err = st.fillFirstRow(imax)
-	case st.algo == FillDC:
-		err = st.fillRowDC(k, imax, jrow)
-	case st.algo == FillSMAWK:
-		err = st.fillRowSMAWK(k, imax, jrow)
+	case st.algo == FillDC, st.algo == FillSMAWK, st.algo == FillOnline:
+		err = st.fillRowSegmented(k, imax, jrow, st.algo)
 	default:
 		err = st.fillRowScan(k, imax, jrow)
 	}

@@ -1,6 +1,8 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+)
 
 // FillAlgo selects the algorithm that fills one row of the DP error matrix
 // E[k] given row E[k−1]. All algorithms produce bitwise-identical E and J
@@ -21,17 +23,25 @@ import "fmt"
 //   - FillSMAWK applies the SMAWK row-minima algorithm to the same
 //     totally monotone candidate matrix: O(m) candidate evaluations per
 //     segment, the asymptotic optimum.
+//   - FillOnline maintains a concave candidate frontier incrementally as
+//     cells are answered left to right (segOnline): O(1) amortized
+//     evaluations per cell plus one O(log m) crossover search per
+//     candidate, without ever consulting candidates that have not arrived
+//     yet — the fill of the incremental Solver and the streaming exact-DP
+//     path.
 //
 // Dispatch is per segment, not all-or-nothing: every row's cells are
 // partitioned by the kernel's piecewise-monotone segmentation, segments of
 // at least fillSegmentMin rows run the selected monotone fill over their
-// in-segment candidates and then complete each cell with the pruned scan
-// over the remaining out-of-segment candidates (where the quadrangle
-// inequality genuinely fails — e.g. values 0, 100, 0 — but the scan's
-// early exit usually stops after one boundary probe), and shorter segments
-// scan outright. Mixed-shape series therefore get the monotone speedup on
-// their monotone stretches instead of losing it to a single direction
-// change; results are identical for every selection on every input.
+// in-segment candidates and then complete each cell over the remaining
+// out-of-segment candidates (where the quadrangle inequality genuinely
+// fails — e.g. values 0, 100, 0) with the envelope-pruned scan: a blocked
+// right-to-left scan that discards whole candidate blocks in O(1) against
+// a progressive lower envelope of min(prevE)+MergeErr (envComplete).
+// Shorter segments run the same envelope-pruned scan over their windows.
+// Mixed-shape series therefore get the monotone speedup on their monotone
+// stretches instead of losing it to a single direction change; results are
+// identical for every selection on every input.
 // FillAuto (the zero value) picks FillPruned below fillAutoThreshold rows
 // and FillDC at or above it — except for the pruning-ablation modes, whose
 // scan-work measurements auto never replaces.
@@ -46,6 +56,13 @@ const (
 	FillDC
 	// FillSMAWK is the SMAWK totally-monotone row-minima fill.
 	FillSMAWK
+	// FillOnline is the incremental concave-frontier fill: cells are
+	// answered strictly left to right while a per-segment candidate
+	// frontier is maintained as split points become available. It is the
+	// fill the incremental core.Solver auto-selects (and the streaming
+	// exact-DP path uses), since its per-cell work does not depend on
+	// seeing the whole row's candidate set up front.
+	FillOnline
 )
 
 // fillAutoThreshold is the input size at which FillAuto switches from the
@@ -77,12 +94,14 @@ func (a FillAlgo) String() string {
 		return "dc"
 	case FillSMAWK:
 		return "smawk"
+	case FillOnline:
+		return "online"
 	}
 	return fmt.Sprintf("fill(%d)", uint8(a))
 }
 
-// ParseFillAlgo resolves a row-fill algorithm name ("auto", "pruned", "dc"
-// or "smawk").
+// ParseFillAlgo resolves a row-fill algorithm name ("auto", "pruned", "dc",
+// "smawk" or "online").
 func ParseFillAlgo(s string) (FillAlgo, error) {
 	switch s {
 	case "", "auto":
@@ -93,6 +112,8 @@ func ParseFillAlgo(s string) (FillAlgo, error) {
 		return FillDC, nil
 	case "smawk":
 		return FillSMAWK, nil
+	case "online":
+		return FillOnline, nil
 	}
 	return FillAuto, fmt.Errorf("core: unknown fill algorithm %q (have %v)", s, FillAlgoNames())
 }
@@ -100,7 +121,7 @@ func ParseFillAlgo(s string) (FillAlgo, error) {
 // FillAlgoNames lists the recognized fill-algorithm names in definition
 // order.
 func FillAlgoNames() []string {
-	return []string{"auto", "pruned", "dc", "smawk"}
+	return []string{"auto", "pruned", "dc", "smawk", "online"}
 }
 
 // resolve maps FillAuto onto a concrete algorithm for an input of size n.
@@ -138,16 +159,21 @@ func (a FillAlgo) resolve(n int) FillAlgo {
 // in-segment minima bit for bit.
 //
 // Each cell's remaining candidates — split points left of the segment,
-// j ∈ [max(k−1, rightmostGapBefore(i)), a−2] — are completed by the same
-// right-to-left pruned scan afterwards (completeSegment): the merge cost
-// w(j+1, i) still grows as j moves left (SSE over a superset of rows), so
-// the Jagadish early exit applies even where the quadrangle inequality does
-// not, and in practice the boundary probe stops after a handful of
-// candidates. Completion replaces a cell only on strict improvement, and
-// every out-of-segment candidate lies left of every in-segment one, so the
-// rightmost-argmin convention survives the merge; all candidate values are
-// ≥ +0 and computed by the shared kernel arithmetic, so the combined
-// minimum is bitwise-identical to the full scan's.
+// j ∈ [max(k−1, rightmostGapBefore(i)), a−2] — are completed afterwards by
+// the envelope-pruned scan (completeSegment → envComplete): candidates are
+// visited right to left a block at a time, and a block is discarded whole
+// in O(1) when the monotone lower envelope — the static bound
+// min(prevE[block]) + w(rightEdge+1, i) or the tighter progressive bound
+// refreshed as earlier cells evaluated the block (see ensureEnvelope) —
+// already reaches the incumbent (the merge cost w(j+1, i) grows as j moves
+// left: SSE over a superset of rows, the same monotonicity behind the
+// Jagadish early exit, so the right edge bounds the block). Completion
+// replaces a cell only on strict improvement, every out-of-segment
+// candidate lies left of every in-segment one, blocks are scanned in the
+// reference order, and skipped blocks cannot strictly improve the
+// incumbent, so the rightmost-argmin convention survives the merge; all
+// candidate values are ≥ +0 and computed by the shared kernel arithmetic,
+// so the combined minimum is bitwise-identical to the full scan's.
 //
 // Gaps integrate into the same framework: segments never span a gap, a
 // merge cost across a gap is Inf, and those Inf cells persist downward (the
@@ -201,30 +227,22 @@ func (st *dpState) pollFill(evals int) error {
 
 // --- per-segment dispatch ---
 
-// fillRowDC fills row k ≥ 2 with the monotone divide-and-conquer fill,
-// dispatched per certified segment.
-func (st *dpState) fillRowDC(k, imax int, jrow []int32) error {
-	return st.fillRowSegmented(k, imax, jrow, false)
-}
-
-// fillRowSMAWK fills row k ≥ 2 with the SMAWK row-minima fill, dispatched
-// per certified segment.
-func (st *dpState) fillRowSMAWK(k, imax int, jrow []int32) error {
-	return st.fillRowSegmented(k, imax, jrow, true)
-}
-
 // fillRowSegmented walks the kernel's piecewise-monotone segmentation over
 // the row's cells [k, imax]: segments of at least fillSegmentMin rows run
-// the selected monotone fill over their in-segment candidates and then
-// complete every cell with the out-of-segment scan; shorter segments scan
-// outright. On fully monotone data (one segment per run) the completion
-// windows are empty and this reduces to a whole-row monotone fill.
-func (st *dpState) fillRowSegmented(k, imax int, jrow []int32, useSMAWK bool) error {
+// the selected monotone fill (FillDC, FillSMAWK or FillOnline) over their
+// in-segment candidates and then complete every cell with the
+// envelope-pruned out-of-segment scan; shorter segments run the
+// envelope-pruned scan over their whole candidate windows. On fully
+// monotone data (one segment per run) the completion windows are empty and
+// this reduces to a whole-row monotone fill.
+func (st *dpState) fillRowSegmented(k, imax int, jrow []int32, algo FillAlgo) error {
 	imax = st.effectiveIMax(k, imax)
 	if k > imax {
 		return nil
 	}
 	st.ensureRightGap()
+	st.envValid = false // prevE changed since the last row's envelope state
+	st.envHint = -1     // last row's winning splits don't seed this row
 	segs := st.segs
 	for t, start := range segs {
 		a := int(start)
@@ -247,14 +265,17 @@ func (st *dpState) fillRowSegmented(k, imax int, jrow []int32, useSMAWK bool) er
 			}
 			continue
 		}
-		if useSMAWK {
-			if err := st.segSMAWK(k, a, ilo, ihi, jrow); err != nil {
-				return err
-			}
-		} else {
-			if err := st.dcSolve(k, ilo, ihi, max(k-1, a-1), ihi-1, jrow); err != nil {
-				return err
-			}
+		var err error
+		switch algo {
+		case FillSMAWK:
+			err = st.segSMAWK(k, a, ilo, ihi, jrow)
+		case FillOnline:
+			err = st.segOnline(k, a, ilo, ihi, jrow)
+		default:
+			err = st.dcSolve(k, ilo, ihi, max(k-1, a-1), ihi-1, jrow)
+		}
+		if err != nil {
+			return err
 		}
 		if err := st.completeSegment(k, a, ilo, ihi, jrow); err != nil {
 			return err
@@ -263,40 +284,24 @@ func (st *dpState) fillRowSegmented(k, imax int, jrow []int32, useSMAWK bool) er
 	return nil
 }
 
-// fillScanRange fills cells ilo..ihi of row k with the pruned candidate
-// scan under the monotone fills' conventions: the jmin/imax gap bounds
-// apply unconditionally (outside them every candidate is infinite, so the
-// produced cells are identical for every PruneMode) and rightGap is
+// fillScanRange fills cells ilo..ihi of row k with the envelope-pruned
+// candidate scan under the monotone fills' conventions: the jmin/imax gap
+// bounds apply unconditionally (outside them every candidate is infinite,
+// so the produced cells are identical for every PruneMode) and rightGap is
 // resolved from the materialized table. It serves the segments too short
-// for a monotone fill to repay its setup.
+// for a monotone fill to repay its setup; the envelope bound (see
+// envComplete) keeps those cells from scanning their whole windows.
 func (st *dpState) fillScanRange(k, ilo, ihi int, jrow []int32) error {
-	rerr := st.rerr
-	prevE := st.prevE
 	for i := ilo; i <= ihi; i++ {
 		st.stats.Cells++
 		jmin := max(k-1, int(st.rightGap[i]))
-		best := Inf
-		bestJ := int32(0)
-		inner := 0
-		for j := i - 1; j >= jmin; j-- {
-			inner++
-			err2 := rerr(j+1, i)
-			if v := prevE[j] + err2; v < best {
-				best = v
-				bestJ = int32(j)
-			}
-			// err2 grows as j decreases; once it alone exceeds the best
-			// total, no smaller j can win (Jagadish et al.).
-			if err2 > best {
-				break
-			}
-		}
-		st.stats.InnerIters += int64(inner)
+		best, bestJ, evals := st.envComplete(i, jmin, i-1, Inf, 0)
+		st.stats.InnerIters += int64(evals)
 		st.curE[i] = best
 		if jrow != nil {
 			jrow[i] = bestJ
 		}
-		if err := st.pollFill(inner); err != nil {
+		if err := st.pollFill(evals); err != nil {
 			return err
 		}
 	}
@@ -305,37 +310,22 @@ func (st *dpState) fillScanRange(k, ilo, ihi int, jrow []int32) error {
 
 // completeSegment finishes cells ilo..ihi of the segment starting at a: the
 // monotone fill compared only in-segment candidates j ≥ a−1, so the
-// remaining window [max(k−1, rightmostGapBefore(i)), a−2] is scanned right
-// to left with the usual early exit, replacing a cell only on strict
+// remaining window [max(k−1, rightmostGapBefore(i)), a−2] is searched with
+// the envelope-pruned scan (envComplete), replacing a cell only on strict
 // improvement (every out-of-segment candidate lies left of the in-segment
 // argmin, so the rightmost-argmin convention is preserved). When the
 // segment starts its run the window is empty and the loop falls through.
 // The cells were already counted by the monotone fill; only the extra
 // candidate evaluations land in InnerIters.
 func (st *dpState) completeSegment(k, a, ilo, ihi int, jrow []int32) error {
-	rerr := st.rerr
-	prevE := st.prevE
 	evals := 0
 	for i := ilo; i <= ihi; i++ {
 		jmin := max(k-1, int(st.rightGap[i]))
 		if a-2 < jmin {
 			continue
 		}
-		best := st.curE[i]
-		bestJ := int32(-1)
-		for j := a - 2; j >= jmin; j-- {
-			evals++
-			err2 := rerr(j+1, i)
-			if v := prevE[j] + err2; v < best {
-				best = v
-				bestJ = int32(j)
-			}
-			// err2 grows as j decreases (SSE over a superset of rows); once
-			// it alone exceeds the best total, no smaller j can win.
-			if err2 > best {
-				break
-			}
-		}
+		best, bestJ, cellEvals := st.envComplete(i, jmin, a-2, st.curE[i], -1)
+		evals += cellEvals
 		if bestJ >= 0 {
 			st.curE[i] = best
 			if jrow != nil {
@@ -345,6 +335,279 @@ func (st *dpState) completeSegment(k, a, ilo, ihi int, jrow []int32) error {
 	}
 	st.stats.InnerIters += int64(evals)
 	return st.pollFill(evals)
+}
+
+// --- envelope-pruned completion ---
+
+// envBlockBits sets the envelope granularity: completion candidates are
+// grouped by split point into blocks of 2^envBlockBits columns — the unit
+// in which the scan skips, probes and refreshes. 32 columns amortize each
+// O(1) bound probe to a small fraction of a candidate evaluation per
+// skipped column while keeping a refresh (one pass over the block) cheap
+// enough to repay itself within a couple of cells.
+const (
+	envBlockBits = 5
+	envBlock     = 1 << envBlockBits
+)
+
+// envSafety is the relative slack the completion scan keeps between a
+// lower bound and the incumbent before discarding candidates: a block is
+// skipped only when bound ≥ best·(1+envSafety). The bounds below are exact
+// in real arithmetic; the slack absorbs the floating-point error of the
+// prefix-slab evaluations on both sides of the comparison, so a skipped
+// candidate is never one the reference scan would have installed as a
+// strict improvement. 10⁻⁶ is orders of magnitude above the slabs' relative
+// rounding error and orders below any error gap the DP distinguishes on
+// real data, so the slack costs no measurable pruning.
+const envSafety = 1e-6
+
+// ensureEnvelope (re)initializes the per-block envelope state for the
+// current prevE row. The completion scan minimizes
+//
+//	f_i(j) = prevE[j] + rerr(j+1, i)
+//
+// over out-of-segment split points j, and the envelope maintains, per block
+// of 2^envBlockBits consecutive columns, two progressive lower bounds it
+// can test in O(1) per block:
+//
+//   - static: min(prevE[block]) + rerr(hi+1, i) ≤ f_i(j) for every j ≤ hi
+//     in the block — prevE is non-negative and the merge cost only grows as
+//     the split moves left (SSE over a superset of rows, the monotonicity
+//     behind the Jagadish exit), so the block's right edge bounds it whole.
+//
+//   - progressive: when a block was last refreshed at cell I (envAt), every
+//     leaf holds its exact value f_I(j) ≥ envMin, and the weighted
+//     parallel-axis decomposition of the merge cost
+//
+//     rerr(j+1, i) = rerr(j+1, I) + rerr(I+1, i)
+//
+//   - (W₁·W₂/(W₁+W₂))·Σ_d w²_d·(μ_{j,d} − ν_d)²
+//
+//     (W₁, μ the length and per-dimension means of run (j, I]; W₂, ν those
+//     of run (I, i]) gives f_i(j) ≥ envMin + rerr(I+1, i) + pooled term,
+//     with the pooled term bounded below through the refresh-time interval
+//     [envMuLo, envMuHi] enclosing every leaf's run mean and the smallest
+//     in-block run length W₁ = l[I]−l[hi]. The pooled term is what prices
+//     the growth of every candidate's merge cost since the refresh — it
+//     recovers ≈ (vᵢ−μ)² per appended row, which is exactly the rate at
+//     which the incumbent grows too, so a refreshed block keeps pruning
+//     even as the incumbent decays.
+//
+// Blocks are refreshed whole (every leaf re-evaluated in one pass) so the
+// refresh cell I is uniform across the block and the decomposition above
+// pairs each leaf's stored value with its own growth. The state is rebuilt
+// lazily per row — fully certified series, whose completion windows are all
+// empty, never pay for it.
+func (st *dpState) ensureEnvelope() {
+	if st.envValid {
+		return
+	}
+	nb := (st.n >> envBlockBits) + 1
+	p := st.kn.p
+	if st.envMin == nil {
+		st.envMin = make([]float64, nb)
+		st.envMinPrev = make([]float64, nb)
+		st.envAt = make([]int32, nb)
+		st.envLo = make([]int32, nb)
+		st.envHi = make([]int32, nb)
+		st.envMuLo = make([]float64, nb*p)
+		st.envMuHi = make([]float64, nb*p)
+	}
+	prevE := st.prevE
+	for b := 0; b < nb; b++ {
+		lo := b << envBlockBits
+		hi := min(lo+envBlock-1, st.n)
+		m := prevE[lo]
+		for j := lo + 1; j <= hi; j++ {
+			m = min(m, prevE[j])
+		}
+		st.envMinPrev[b] = m
+		st.envMin[b] = m
+		st.envAt[b] = -1
+	}
+	st.envValid = true
+}
+
+// envComplete minimizes f_i(j) = prevE[j] + rerr(j+1, i) over the candidate
+// range [j1, j2], seeded with the incumbent (best, bestJ) and returning the
+// window minimum with the rightmost argmin — the value and argmin the
+// reference right-to-left scan produces (its Jagadish exit only ever cuts
+// candidates whose merge cost alone already exceeds the running minimum,
+// which under the merge cost's superset monotonicity are strictly worse
+// than the answer, so the reference's result IS the window minimum with the
+// rightmost argmin; see the tie rules below).
+//
+// The scan exploits that the winning split point moves slowly from one
+// cell to the next: it first refreshes the block containing the previous
+// cell's completion argmin (envHint), which lands the incumbent near its
+// final value immediately, then sweeps the remaining blocks right to left,
+// discarding each in O(1) against that strong incumbent (tallied in
+// stats.EnvelopeSkips):
+//
+//   - the Jagadish stop: once the merge cost at a block's right edge alone
+//     exceeds the incumbent, every remaining leaf to the left is strictly
+//     worse (superset monotonicity) and the sweep ends;
+//   - the static and progressive envelope bounds (see ensureEnvelope): a
+//     block whose bound reaches best·(1+envSafety) cannot strictly improve
+//     the incumbent and is skipped whole. A bound that only ties the
+//     incumbent (lb == best, possible at best = 0) skips just the blocks
+//     left of the current argmin — a tie further right must still be
+//     evaluated to keep the argmin rightmost.
+//
+// A surviving block is refreshed (envRefresh): every leaf is evaluated at
+// the current cell with the reference's exact arithmetic, the incumbent is
+// updated under the rightmost-tie rule, and the block's envelope state is
+// rebuilt so later cells inherit the tightened bound. A Jagadish stop
+// inside a refresh freezes the incumbent — the frozen leaf's merge cost
+// exceeds the incumbent, so every leaf further left is strictly worse and
+// the sweep ends once the block's state is complete.
+//
+// The returned count is the number of merge-cost evaluations spent; bound
+// probes are O(1) per block and are not counted as inner iterations.
+func (st *dpState) envComplete(i, j1, j2 int, best float64, bestJ int32) (float64, int32, int) {
+	if j2 < j1 {
+		return best, bestJ, 0
+	}
+	st.ensureEnvelope()
+	kn := st.kn
+	rerr := st.rerr
+	l := kn.l
+	p := kn.p
+	stride := st.n + 1
+	s, w2 := kn.s, kn.w2
+	evals := 0
+
+	// Seed: refresh the block that held the previous cell's winner, so the
+	// sweep below compares against a near-final incumbent instead of paying
+	// one evaluation per candidate on the long slide toward the optimum.
+	hintB := -1
+	floor := j1 // leaves left of floor are proven worse than the incumbent
+	if h := st.envHint; h >= j1 && h <= j2 {
+		hintB = h >> envBlockBits
+		var stopJ, ev int
+		best, bestJ, stopJ, ev = st.envRefresh(hintB, i, j1, j2, best, bestJ)
+		evals += ev
+		if stopJ >= 0 {
+			floor = max(floor, stopJ)
+		}
+	}
+
+	for b := j2 >> envBlockBits; b >= floor>>envBlockBits; b-- {
+		if b == hintB {
+			continue // evaluated this cell; its minimum is in the incumbent
+		}
+		lo := b << envBlockBits
+		jlo := max(lo, floor)
+		jhi := min(lo+envBlock-1, j2)
+		if jhi < jlo {
+			continue
+		}
+		rEdge := rerr(jhi+1, i)
+		if rEdge > best {
+			break // every remaining leaf costs at least rEdge on merges alone
+		}
+		thresh := best + best*envSafety
+		lb := st.envMinPrev[b] + rEdge
+		if lb < thresh {
+			if I := int(st.envAt[b]); I >= 0 && I < i && int(st.envLo[b]) <= jlo && int(st.envHi[b]) >= jhi {
+				credit := rerr(I+1, i)
+				w1 := float64(l[I] - l[st.envHi[b]])
+				wa := float64(l[i] - l[I])
+				if w1 > 0 && wa > 0 {
+					var pool float64
+					for d := 0; d < p; d++ {
+						mu2 := (s[d*stride+i] - s[d*stride+I]) / wa
+						if muLo := st.envMuLo[b*p+d]; mu2 < muLo {
+							dmu := muLo - mu2
+							pool += w2[d] * dmu * dmu
+						} else if muHi := st.envMuHi[b*p+d]; mu2 > muHi {
+							dmu := mu2 - muHi
+							pool += w2[d] * dmu * dmu
+						}
+					}
+					credit += w1 * wa / (w1 + wa) * pool
+				}
+				if v := st.envMin[b] + credit; v > lb {
+					lb = v
+				}
+			}
+		}
+		// Skip needs lb strictly above best (no leaf can tie) unless the
+		// whole block lies left of the argmin, where ties lose anyway.
+		if lb >= thresh && (lb > best || bestJ < 0 || jhi < int(bestJ)) {
+			continue
+		}
+		var stopJ, ev int
+		best, bestJ, stopJ, ev = st.envRefresh(b, i, floor, j2, best, bestJ)
+		evals += ev
+		if stopJ >= 0 {
+			break // leaves left of the frozen leaf are strictly worse
+		}
+	}
+	st.stats.EnvelopeSkips += int64(j2-j1+1) - int64(evals)
+	if bestJ >= 0 {
+		st.envHint = int(bestJ)
+	}
+	return best, bestJ, evals
+}
+
+// envRefresh evaluates every feasible leaf of block b at cell i — the
+// reference scan's exact arithmetic, right to left — folding each value
+// into the incumbent under the rightmost-tie rule (strict improvement, or
+// an exact finite tie further right than the current completion argmin;
+// bestJ < 0 marks an incumbent that lies right of the whole window, which
+// ties must not displace). It rebuilds the block's envelope state: the
+// minimum leaf value, the refresh cell, the covered leaf range and the
+// per-dimension interval of run means, from which later cells derive the
+// progressive bound. If a leaf's merge cost alone exceeds the incumbent,
+// the incumbent freezes (leaves further left are strictly worse under
+// superset monotonicity) but the remaining leaves are still evaluated so
+// the stored state describes the whole covered range; the frozen position
+// is returned as stopJ (−1 when no freeze happened) and ends the sweep.
+func (st *dpState) envRefresh(b, i, j1, j2 int, best float64, bestJ int32) (float64, int32, int, int) {
+	kn := st.kn
+	rerr := st.rerr
+	prevE := st.prevE
+	l := kn.l
+	p := kn.p
+	stride := st.n + 1
+	s := kn.s
+	lo := b << envBlockBits
+	jlo := max(lo, j1)
+	jhi := min(lo+envBlock-1, j2)
+	muLo := st.envMuLo[b*p : b*p+p]
+	muHi := st.envMuHi[b*p : b*p+p]
+	bmin := Inf
+	stopJ := -1
+	evals := 0
+	for j := jhi; j >= jlo; j-- {
+		e2 := rerr(j+1, i)
+		evals++
+		v := prevE[j] + e2
+		bmin = min(bmin, v)
+		if stopJ < 0 {
+			if v < best || (v == best && v < Inf && bestJ >= 0 && int32(j) > bestJ) {
+				best, bestJ = v, int32(j)
+			}
+			if e2 > best {
+				stopJ = j
+			}
+		}
+		w := float64(l[i] - l[j])
+		for d := 0; d < p; d++ {
+			mu := (s[d*stride+i] - s[d*stride+j]) / w
+			if j == jhi {
+				muLo[d], muHi[d] = mu, mu
+			} else {
+				muLo[d] = min(muLo[d], mu)
+				muHi[d] = max(muHi[d], mu)
+			}
+		}
+	}
+	st.envMin[b] = bmin
+	st.envAt[b] = int32(i)
+	st.envLo[b], st.envHi[b] = int32(jlo), int32(jhi)
+	return best, bestJ, stopJ, evals
 }
 
 // --- monotone divide and conquer ---
@@ -398,6 +661,108 @@ func (st *dpState) dcSolve(k, ilo, ihi, jlo, jhi int, jrow []int32) error {
 	return st.dcSolve(k, mid+1, ihi, rightLo, jhi, jrow)
 }
 
+// --- online concave frontier ---
+
+// segOnline fills cells ilo..ihi of the segment starting at a with the
+// incremental concave-frontier fill (FillOnline): cells are answered
+// strictly left to right, and the only state carried between cells is the
+// frontier — a stack of (candidate, firstCell) intervals partitioning the
+// remaining cells by their future rightmost argmin among the candidates
+// seen so far. When split point c = i−1 becomes available it pops every
+// tail interval it ties-or-beats at the start of that interval's remaining
+// domain (total monotonicity then makes it at least as good on the whole
+// domain, and the tie goes to c, the rightmost candidate); if it loses
+// against the surviving tail it takes over from the crossover cell located
+// by binary search (the comparison predicate is monotone in the cell for
+// the same reason). Each cell then answers from the front interval in one
+// candidate evaluation. The per-cell work is O(1) amortized plus one
+// O(log m) search per candidate, and never depends on candidates that have
+// not arrived yet — which is what lets the incremental Solver and the
+// streaming exact-DP path use it row by row. An all-Inf cell (extreme
+// weights saturating every candidate) writes the scan's Inf/0 sentinel;
+// Inf candidates are popped by ties like any other, and an Inf comparison
+// stays monotone because saturated merge costs only grow with the cell.
+func (st *dpState) segOnline(k, a, ilo, ihi int, jrow []int32) error {
+	if ilo > ihi {
+		return nil
+	}
+	rerr := st.rerr
+	prevE := st.prevE
+	val := func(t, j int) float64 { return prevE[j] + rerr(j+1, t) }
+	// onJ[q] answers cells [onS[q], onS[q+1]) — the last entry runs to ihi;
+	// entries before the front index f are consumed.
+	if cap(st.onJ) < ihi-ilo+1 {
+		st.onJ = make([]int32, 0, ihi-ilo+1)
+		st.onS = make([]int32, 0, ihi-ilo+1)
+	}
+	onJ, onS := st.onJ[:0], st.onS[:0]
+	onJ = append(onJ, int32(ilo-1)) // the one candidate available at cell ilo
+	onS = append(onS, int32(ilo))
+	f := 0
+	evals := 0
+	for i := ilo; i <= ihi; i++ {
+		st.stats.Cells++
+		cellStart := evals
+		if i > ilo {
+			c := i - 1 // the split point that became available this cell
+			for len(onJ) > f {
+				last := len(onJ) - 1
+				h := max(int(onS[last]), i)
+				evals += 2
+				if val(h, c) <= val(h, int(onJ[last])) {
+					onJ, onS = onJ[:last], onS[:last]
+					continue
+				}
+				break
+			}
+			if len(onJ) == f {
+				onJ = append(onJ, int32(c))
+				onS = append(onS, int32(i))
+			} else {
+				// c loses at the tail's domain start; binary-search the first
+				// cell where it ties or wins, if any.
+				last := len(onJ) - 1
+				d := int(onJ[last])
+				lo, hi := max(int(onS[last]), i)+1, ihi
+				for lo <= hi {
+					t := lo + (hi-lo)/2
+					evals += 2
+					if val(t, c) <= val(t, d) {
+						hi = t - 1
+					} else {
+						lo = t + 1
+					}
+				}
+				if lo <= ihi {
+					onJ = append(onJ, int32(c))
+					onS = append(onS, int32(lo))
+				}
+			}
+		}
+		for f+1 < len(onJ) && int(onS[f+1]) <= i {
+			f++
+		}
+		evals++
+		best := val(i, int(onJ[f]))
+		st.curE[i] = best
+		if jrow != nil {
+			if best == Inf {
+				jrow[i] = 0
+			} else {
+				jrow[i] = onJ[f]
+			}
+		}
+		if err := st.pollFill(evals - cellStart); err != nil {
+			st.onJ, st.onS = onJ[:0], onS[:0]
+			st.stats.InnerIters += int64(evals)
+			return err
+		}
+	}
+	st.onJ, st.onS = onJ[:0], onS[:0]
+	st.stats.InnerIters += int64(evals)
+	return nil
+}
+
 // --- SMAWK ---
 
 // smawkValue evaluates the candidate matrix entry M[i][j] for row k: Inf
@@ -420,7 +785,7 @@ func (st *dpState) smawkValue(i, j int) float64 {
 // smawkCarve hands out a zero-length int32 slice with the given capacity
 // from the per-state arena. The SMAWK recursion is a chain whose level
 // sizes halve, so one row fill carves at most 3·(rows+1) entries in total;
-// fillRowSMAWK sizes the arena accordingly and resets it per row, which
+// segSMAWK sizes the arena accordingly and resets it per segment, which
 // keeps the whole fill allocation-free after the first row.
 func (st *dpState) smawkCarve(capacity int) []int32 {
 	s := st.smawkBuf[st.smawkOff : st.smawkOff : st.smawkOff+capacity]

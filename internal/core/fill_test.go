@@ -13,7 +13,7 @@ import (
 
 // monotoneFills are the row-fill algorithms that must reproduce the pruned
 // scan's matrices bit for bit.
-var monotoneFills = []FillAlgo{FillDC, FillSMAWK}
+var monotoneFills = []FillAlgo{FillDC, FillSMAWK, FillOnline}
 
 // monotoneSequence builds a random gap-ful sequence and then sorts each
 // aggregate dimension within every maximal run (ascending or descending per

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/temporal"
 )
@@ -41,9 +42,16 @@ type CostKernel struct {
 	// once. The sync.Once makes lazy certification safe when one kernel is
 	// shared across goroutines (DPMultiKernel serves every plan group of a
 	// CompressMany from a single kernel; retained Solver kernels live in
-	// caches): after the Once completes, monoSegs is immutable.
+	// caches): after the Once completes, monoSegs and monoCov are immutable.
 	monoOnce sync.Once
 	monoSegs []int32 // ascending 1-based segment start positions; nil until computed
+	monoCov  float64 // fraction of rows in dispatch-eligible segments; set with monoSegs
+
+	// certifies counts how many times computeSegments actually ran — at most
+	// 1 per kernel by construction. Tests read it to pin the guarantee that
+	// retained paths (Solver Deepen rounds, repeated coverage queries) never
+	// re-certify; see TestSolverCertifiesOnce.
+	certifies atomic.Int64
 }
 
 // NewKernel validates the sequence and the options and builds the cost
@@ -391,28 +399,19 @@ func (kn *CostKernel) MonotoneRuns() bool {
 // MonotoneCoverage reports the fraction of rows lying inside monotone
 // segments long enough for the per-segment fill dispatch to engage (see
 // fillSegmentMin) — the share of the series that gets the monotone-fill
-// speedup. 1.0 on counter-like data, 0.0 on pure oscillating noise.
+// speedup. 1.0 on counter-like data, 0.0 on pure oscillating noise. The
+// value is cached alongside the segmentation, so repeated queries (Solver
+// Deepen rounds, /v1/stats scrapes) cost a Once check, not a rescan.
 func (kn *CostKernel) MonotoneCoverage() float64 {
 	kn.monoOnce.Do(kn.computeSegments)
-	if kn.n == 0 {
-		return 0
-	}
-	covered := 0
-	for si, start := range kn.monoSegs {
-		end := kn.n
-		if si+1 < len(kn.monoSegs) {
-			end = int(kn.monoSegs[si+1]) - 1
-		}
-		if m := end - int(start) + 1; m >= fillSegmentMin {
-			covered += m
-		}
-	}
-	return float64(covered) / float64(kn.n)
+	return kn.monoCov
 }
 
 // computeSegments materializes the piecewise-monotone segmentation (1-based
-// segment starts). Runs once per kernel under monoOnce.
+// segment starts) and the derived dispatch coverage. Runs once per kernel
+// under monoOnce.
 func (kn *CostKernel) computeSegments() {
+	kn.certifies.Add(1)
 	if kn.n == 0 {
 		kn.monoSegs = []int32{}
 		return
@@ -456,6 +455,17 @@ func (kn *CostKernel) computeSegments() {
 	}
 	segment(start, kn.n-1)
 	kn.monoSegs = segs
+	covered := 0
+	for si, sstart := range segs {
+		end := kn.n
+		if si+1 < len(segs) {
+			end = int(segs[si+1]) - 1
+		}
+		if m := end - int(sstart) + 1; m >= fillSegmentMin {
+			covered += m
+		}
+	}
+	kn.monoCov = float64(covered) / float64(kn.n)
 }
 
 // HasGap reports whether the run s_i..s_j (1-based, inclusive) contains at

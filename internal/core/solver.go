@@ -39,6 +39,14 @@ func NewSolver(seq *temporal.Sequence, opts Options, pruneI, pruneJ bool) (*Solv
 		return nil, fmt.Errorf("core: solver over an empty relation")
 	}
 	opts.Ctx, opts.Scratch = nil, nil
+	if opts.Fill == FillAuto && pruneI && pruneJ && seq.Len() >= fillAutoThreshold {
+		// The incremental path answers rows one at a time (Deepen), where
+		// the batch fills would redo their whole-row setup per row; the
+		// online frontier fill is built for exactly this shape. Matrices
+		// are bitwise-identical across fills, so the swap is invisible to
+		// cache keys (FillAuto shares the DPClass) and to results.
+		opts.Fill = FillOnline
+	}
 	kn, err := NewKernel(seq, opts)
 	if err != nil {
 		return nil, err
@@ -70,6 +78,28 @@ func (sv *Solver) MemBytes() int64 {
 	n := int64(sv.kn.N() + 1)
 	return int64(sv.filled)*n*4 + // J rows
 		3*n*8 // prevE, curE, rowErr
+}
+
+// Fill returns the concrete row-fill algorithm the solver resolved to
+// (never FillAuto).
+func (sv *Solver) Fill() FillAlgo { return sv.st.algo }
+
+// MonotoneCoverage reports the kernel's certified dispatch coverage — the
+// fraction of rows the monotone fills accelerate. The certification is
+// computed at most once per solver lifetime (see CostKernel), so scraping
+// this per request is free.
+func (sv *Solver) MonotoneCoverage() float64 { return sv.kn.MonotoneCoverage() }
+
+// Deepen fills matrix rows up to k without answering a budget: the explicit
+// resume entry point for callers that pace the fill themselves (a serving
+// layer warming a cache entry between requests, the streaming evaluators
+// extending retained rows as data arrives). Already-filled rows are never
+// recomputed; Deepen(ctx, k) for k ≤ Rows() is a no-op.
+func (sv *Solver) Deepen(ctx context.Context, k int) error {
+	if k > sv.kn.N() {
+		k = sv.kn.N()
+	}
+	return sv.ensure(ctx, k)
 }
 
 // ensure fills rows filled+1..k under ctx. Rows are filled strictly in

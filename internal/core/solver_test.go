@@ -141,6 +141,90 @@ func TestSolverInfeasibleAndCanceled(t *testing.T) {
 	}
 }
 
+// TestSolverCertifiesOnce pins the certification fix: computeSegments runs
+// exactly once per kernel no matter how many Deepen rounds, budget answers
+// and coverage scrapes consult the segmentation. Before the fix every
+// Deepen round re-certified the whole series, turning the incremental
+// path's per-row cost from O(n) into O(n·p) rescans.
+func TestSolverCertifiesOnce(t *testing.T) {
+	seq, err := dataset.Mixed(1, 512, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewSolver(seq, Options{}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewSolver consults the coverage once to resolve FillAuto.
+	if got := sv.kn.certifies.Load(); got != 1 {
+		t.Fatalf("certifies after construction = %d, want 1", got)
+	}
+	ctx := context.Background()
+	for _, k := range []int{1, 4, 16, 64} {
+		if err := sv.Deepen(ctx, k); err != nil {
+			t.Fatalf("Deepen(%d): %v", k, err)
+		}
+	}
+	if _, err := sv.SolveSize(ctx, 80); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if cov := sv.MonotoneCoverage(); cov <= 0 || cov >= 1 {
+			t.Fatalf("mixed coverage = %v, want strictly between 0 and 1", cov)
+		}
+	}
+	if got := sv.kn.certifies.Load(); got != 1 {
+		t.Fatalf("certifies after Deepen/Solve rounds = %d, want 1", got)
+	}
+}
+
+// TestSolverDeepen covers the explicit pacing entry point: Deepen fills
+// rows without answering a budget, shallower targets are no-ops, targets
+// beyond n clamp, and a subsequent budget answer reuses every deepened row.
+func TestSolverDeepen(t *testing.T) {
+	seq := solverInput(t)
+	sv, err := NewSolver(seq, Options{}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sv.Deepen(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Rows() != 4 {
+		t.Fatalf("Rows() = %d after Deepen(4), want 4", sv.Rows())
+	}
+	warm := sv.Stats().Cells
+	if err := sv.Deepen(ctx, 2); err != nil { // shallower: no-op
+		t.Fatal(err)
+	}
+	if got := sv.Stats().Cells; got != warm || sv.Rows() != 4 {
+		t.Fatalf("Deepen(2) refilled: rows=%d cells=%d, want 4/%d", sv.Rows(), got, warm)
+	}
+	if err := sv.Deepen(ctx, seq.Len()+100); err != nil { // clamps to n
+		t.Fatal(err)
+	}
+	if sv.Rows() != seq.Len() {
+		t.Fatalf("Rows() = %d after over-deep Deepen, want %d", sv.Rows(), seq.Len())
+	}
+	warm = sv.Stats().Cells
+	got, err := sv.SolveSize(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells := sv.Stats().Cells; cells != warm {
+		t.Fatalf("budget after full Deepen filled %d new cells, want 0", cells-warm)
+	}
+	want, err := PTAc(seq, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.C != want.C || math.Abs(got.Error-want.Error) > 1e-6*(1+want.Error) {
+		t.Fatalf("deepened SolveSize(4) = (C=%d, E=%g), want (C=%d, E=%g)",
+			got.C, got.Error, want.C, want.Error)
+	}
+}
+
 // countdownCtx reports cancellation after a fixed number of Err polls — it
 // forces an abort in the middle of a matrix row, past the top-of-row check.
 type countdownCtx struct {

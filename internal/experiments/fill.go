@@ -10,29 +10,34 @@ import (
 )
 
 func init() {
-	register("fill", "DP row-fill algorithms over input size: pruned scan vs monotone DC/SMAWK", runFill)
+	register("fill", "DP row-fill algorithms over input size: pruned scan vs monotone DC/SMAWK/online", runFill)
 }
 
 // fillAlgos are the pinned selections the sweep compares; "pruned" is the
 // paper's scan and the baseline.
-var fillAlgos = []pta.FillAlgo{pta.FillPruned, pta.FillDC, pta.FillSMAWK}
+var fillAlgos = []pta.FillAlgo{pta.FillPruned, pta.FillDC, pta.FillSMAWK, pta.FillOnline}
 
 // runFill sweeps input size × row-fill algorithm on two workload families:
 // Counter (cumulative counters — fully monotone per run, coverage 1.0) and
 // Mixed (counter ramps interleaved with oscillating noise — the kernel
-// certifies the ramps as monotone segments and the fills dispatch DC/SMAWK
-// inside them, scanning the rest). The coverage column is the certified
-// fraction pta.MonotoneCoverage reports; it predicts how much of the row
-// fill runs at the monotone algorithms' cost. Every algorithm must return
-// the exact same reduction — the sweep verifies C and Error bit for bit
-// against the scan — so the table isolates pure fill speed. The committed
+// certifies the ramps as monotone segments and the fills dispatch a monotone
+// fill inside them, completing the rest with the envelope-pruned scan). The
+// coverage column is the certified fraction pta.MonotoneCoverage reports; it
+// predicts how much of the row fill runs at the monotone algorithms' cost.
+// The env_skips column counts candidates the completion scan discarded in
+// O(1) range skips (zero for the pruned baseline, which never consults the
+// envelope). Every algorithm must return the exact same reduction — the
+// sweep verifies C and Error bit for bit against the scan — so the table
+// isolates pure fill speed. A final "stream" row per workload drives the
+// same budget through CompressStream (the incremental Solver path, which
+// auto-selects the online fill) and verifies it too. The committed
 // BENCH_fill.json pins this table as the perf trajectory of the DP kernel.
 func runFill(ctx context.Context, cfg Config) (*Table, error) {
 	const c = 48
 	t := &Table{
 		ID:     "fill",
 		Title:  fmt.Sprintf("row-fill runtime on counter and mixed series, c = max(cmin, %d)", c),
-		Header: []string{"workload", "n", "coverage", "algo", "ms", "cells", "inner_iters", "vs_pruned"},
+		Header: []string{"workload", "n", "coverage", "algo", "ms", "cells", "inner_iters", "env_skips", "vs_pruned"},
 	}
 	type workload struct {
 		name   string
@@ -43,9 +48,9 @@ func runFill(ctx context.Context, cfg Config) (*Table, error) {
 		workload
 		sizes []int
 	}{
-		{workload{"counter", dataset.Counter, 1}, []int{1024, 2048, 4096, 8192}},
+		{workload{"counter", dataset.Counter, 1}, []int{1024, 2048, 4096, 8192, 16384}},
 		{workload{"counter-200grp", dataset.Counter, 200}, []int{8192}},
-		{workload{"mixed", dataset.Mixed, 1}, []int{1024, 2048, 4096, 8192}},
+		{workload{"mixed", dataset.Mixed, 1}, []int{1024, 2048, 4096, 8192, 16384}},
 		{workload{"mixed-200grp", dataset.Mixed, 200}, []int{8192}},
 	}
 	for _, sw := range sweep {
@@ -61,6 +66,19 @@ func runFill(ctx context.Context, cfg Config) (*Table, error) {
 				return nil, err
 			}
 			budget := pta.Size(max(seq.CMin(), min(c, seq.Len())))
+			addRow := func(algo string, d float64, res *pta.Result, speedup string) {
+				t.AddRow(sw.name, fmt.Sprintf("%d", seq.Len()), fmt.Sprintf("%.2f", coverage),
+					algo, fmt.Sprintf("%.2f", d),
+					fmt.Sprintf("%d", res.Stats.Cells), fmt.Sprintf("%d", res.Stats.InnerIters),
+					fmt.Sprintf("%d", res.Stats.EnvelopeSkips), speedup)
+			}
+			verify := func(algo string, res, baseline *pta.Result) error {
+				if res.C != baseline.C || math.Float64bits(res.Error) != math.Float64bits(baseline.Error) {
+					return fmt.Errorf("fill: %s %s n=%d diverged from the scan: C=%d err=%v, want C=%d err=%v",
+						sw.name, algo, seq.Len(), res.C, res.Error, baseline.C, baseline.Error)
+				}
+				return nil
+			}
 			var baseline *pta.Result
 			var baselineMS float64
 			for _, algo := range fillAlgos {
@@ -79,21 +97,38 @@ func runFill(ctx context.Context, cfg Config) (*Table, error) {
 				if algo == pta.FillPruned {
 					baseline, baselineMS = res, ms
 				} else {
-					if res.C != baseline.C || math.Float64bits(res.Error) != math.Float64bits(baseline.Error) {
-						return nil, fmt.Errorf("fill: %s %s n=%d diverged from the scan: C=%d err=%v, want C=%d err=%v",
-							sw.name, algo, seq.Len(), res.C, res.Error, baseline.C, baseline.Error)
+					if err := verify(algo.String(), res, baseline); err != nil {
+						return nil, err
 					}
 					speedup = fmt.Sprintf("%.2fx", baselineMS/math.Max(ms, 0.001))
 				}
-				t.AddRow(sw.name, fmt.Sprintf("%d", seq.Len()), fmt.Sprintf("%.2f", coverage),
-					algo.String(), fmtDur(d),
-					fmt.Sprintf("%d", res.Stats.Cells), fmt.Sprintf("%d", res.Stats.InnerIters), speedup)
+				addRow(algo.String(), ms, res, speedup)
 			}
+			// Streaming fill: the same budget answered through CompressStream
+			// — the exact DP materializes the stream into an incremental
+			// Solver, whose Deepen path auto-selects the online fill.
+			var sres *pta.Result
+			d, err := timeIt(func() error {
+				var cerr error
+				sres, cerr = cfg.engine().CompressStream(ctx, pta.NewStream(seq),
+					pta.Plan{Strategy: "ptac", Budget: budget, Options: &pta.Options{}}, nil)
+				return cerr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fill: %s stream n=%d: %v", sw.name, seq.Len(), err)
+			}
+			if err := verify("stream", sres, baseline); err != nil {
+				return nil, err
+			}
+			ms := float64(d.Microseconds()) / 1000
+			addRow("stream", ms, sres, fmt.Sprintf("%.2fx", baselineMS/math.Max(ms, 0.001)))
 		}
 	}
 	t.AddNote("all algorithms verified bitwise-identical (C and Error) against the pruned scan per row")
-	t.AddNote("coverage = fraction of rows inside certified monotone segments long enough for DC/SMAWK (pta.MonotoneCoverage);")
-	t.AddNote("counter certifies fully (1.00), mixed partially — the fills dispatch DC/SMAWK per segment and scan the rest;")
-	t.AddNote("at coverage 0 the kernel demotes to the scan outright, so pinning dc/smawk is always safe")
+	t.AddNote("coverage = fraction of rows inside certified monotone segments long enough for a monotone fill (pta.MonotoneCoverage);")
+	t.AddNote("counter certifies fully (1.00), mixed partially — the fills dispatch per segment and envelope-prune the rest;")
+	t.AddNote("env_skips = candidates discarded in O(1) range skips by the envelope bound (pruned baseline never consults it);")
+	t.AddNote("stream = CompressStream through the incremental Solver, which auto-selects the online fill at n >= 256;")
+	t.AddNote("at coverage 0 the kernel demotes to the scan outright, so pinning dc/smawk/online is always safe")
 	return t, nil
 }

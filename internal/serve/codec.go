@@ -82,11 +82,12 @@ type compressManyRequest struct {
 
 // statsWire mirrors pta.Stats.
 type statsWire struct {
-	Cells      int64 `json:"cells,omitempty"`
-	InnerIters int64 `json:"inner_iters,omitempty"`
-	Merges     int   `json:"merges,omitempty"`
-	MaxHeap    int   `json:"max_heap,omitempty"`
-	ReadAhead  int   `json:"read_ahead,omitempty"`
+	Cells         int64 `json:"cells,omitempty"`
+	InnerIters    int64 `json:"inner_iters,omitempty"`
+	EnvelopeSkips int64 `json:"envelope_skips,omitempty"`
+	Merges        int   `json:"merges,omitempty"`
+	MaxHeap       int   `json:"max_heap,omitempty"`
+	ReadAhead     int   `json:"read_ahead,omitempty"`
 }
 
 // resultWire is one compression outcome. Cache reports how the matrix cache
@@ -236,11 +237,12 @@ func encodeResult(res *pta.Result, cache string) resultWire {
 		Error:    res.Error,
 		Cache:    cache,
 		Stats: statsWire{
-			Cells:      res.Stats.Cells,
-			InnerIters: res.Stats.InnerIters,
-			Merges:     res.Stats.Merges,
-			MaxHeap:    res.Stats.MaxHeap,
-			ReadAhead:  res.Stats.ReadAhead,
+			Cells:         res.Stats.Cells,
+			InnerIters:    res.Stats.InnerIters,
+			EnvelopeSkips: res.Stats.EnvelopeSkips,
+			Merges:        res.Stats.Merges,
+			MaxHeap:       res.Stats.MaxHeap,
+			ReadAhead:     res.Stats.ReadAhead,
 		},
 		Rows: rows,
 	}
@@ -285,6 +287,7 @@ func appendResult(b []byte, res *pta.Result, cache string) []byte {
 	b = append(b, `,"stats":{`...)
 	b = appendStatField(b, `"cells":`, res.Stats.Cells)
 	b = appendStatField(b, `"inner_iters":`, res.Stats.InnerIters)
+	b = appendStatField(b, `"envelope_skips":`, res.Stats.EnvelopeSkips)
 	b = appendStatField(b, `"merges":`, int64(res.Stats.Merges))
 	b = appendStatField(b, `"max_heap":`, int64(res.Stats.MaxHeap))
 	b = appendStatField(b, `"read_ahead":`, int64(res.Stats.ReadAhead))

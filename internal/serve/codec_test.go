@@ -58,7 +58,7 @@ func codecResult() *pta.Result {
 		Error:    49166.666666666664,
 		Strategy: "ptac",
 		Budget:   pta.Size(4),
-		Stats:    pta.Stats{Cells: 12, InnerIters: 345, MaxHeap: 7, ReadAhead: 3},
+		Stats:    pta.Stats{Cells: 12, InnerIters: 345, EnvelopeSkips: 21, MaxHeap: 7, ReadAhead: 3},
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -12,7 +13,7 @@ func TestFillAlgoPlans(t *testing.T) {
 	defer ts.Close()
 
 	want := map[string]any{}
-	for i, algo := range []string{"", "auto", "pruned", "dc", "smawk"} {
+	for i, algo := range []string{"", "auto", "pruned", "dc", "smawk", "online"} {
 		status, body := post(t, ts.URL+"/v1/compress", compressRequest{
 			Series: projWire(),
 			Plan:   planWire{Strategy: "ptac", Budget: "c=4", FillAlgo: algo},
@@ -31,9 +32,9 @@ func TestFillAlgoPlans(t *testing.T) {
 	}
 
 	// "" and "auto" share the default class; each pinned algorithm owns a
-	// class, so the sequence above built 1 + 3 distinct cache entries.
-	if st := s.cache.stats(); st.Entries != 4 {
-		t.Fatalf("cache entries = %d, want 4 (default + three pinned classes)", st.Entries)
+	// class, so the sequence above built 1 + 4 distinct cache entries.
+	if st := s.cache.stats(); st.Entries != 5 {
+		t.Fatalf("cache entries = %d, want 5 (default + four pinned classes)", st.Entries)
 	}
 
 	status, body := post(t, ts.URL+"/v1/compress", compressRequest{
@@ -65,6 +66,45 @@ func TestFillAlgoCacheHit(t *testing.T) {
 	}
 }
 
+// TestFillMetrics: answered exact-DP budgets count under the resolved
+// row-fill algorithm (ptafill_requests_total), cold builds observe the
+// certified monotone coverage, and /v1/stats carries the matching fill
+// block. The 7-row proj series resolves FillAuto to the pruned scan.
+func TestFillMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		status, body := post(t, ts.URL+"/v1/compress", compressRequest{
+			Series: projWire(),
+			Plan:   planWire{Strategy: "ptac", Budget: "c=4"},
+		})
+		if status != 200 {
+			t.Fatalf("request %d: status %d: %v", i, status, body)
+		}
+	}
+
+	text, _ := scrape(t, ts.URL)
+	if got := metricValue(t, text, `ptafill_requests_total{algo="pruned"}`); got != 2 {
+		t.Errorf(`ptafill_requests_total{algo="pruned"} = %v, want 2`, got)
+	}
+	if !strings.Contains(text, "ptafill_monotone_coverage_bucket") {
+		t.Error("exposition is missing ptafill_monotone_coverage buckets")
+	}
+
+	_, stats := get(t, ts.URL+"/v1/stats")
+	fill, ok := stats["fill"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats has no fill block: %v", stats)
+	}
+	reqs := fill["requests"].(map[string]any)
+	if reqs["pruned"].(float64) != 2 {
+		t.Errorf("stats fill requests = %v, want pruned: 2", reqs)
+	}
+	if fill["coverage_observed"].(float64) != 1 {
+		t.Errorf("coverage_observed = %v, want 1 (one cold build)", fill["coverage_observed"])
+	}
+}
+
 // TestStrategiesExposeFillAlgos: /v1/strategies lists the fill algorithms
 // (one global list — they apply to every matrix-cacheable strategy).
 func TestStrategiesExposeFillAlgos(t *testing.T) {
@@ -75,7 +115,7 @@ func TestStrategiesExposeFillAlgos(t *testing.T) {
 		t.Fatalf("status %d", status)
 	}
 	algos, ok := body["fill_algos"].([]any)
-	if !ok || len(algos) != 4 {
+	if !ok || len(algos) != 5 {
 		t.Fatalf("fill_algos = %v", body["fill_algos"])
 	}
 	strategies := body["strategies"].([]any)

@@ -89,6 +89,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rejected":  s.metrics.admissionRejected.Value(),
 			"queued":    s.metrics.admissionQueued.Value(),
 		},
+		"fill": map[string]any{
+			"requests":          s.fillRequestCounts(),
+			"coverage_observed": s.metrics.fillCoverage.Count(),
+		},
 	}
 	if s.store != nil {
 		body["spill"] = s.store.stats()
@@ -325,16 +329,27 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 		disposition = cacheHit
 	}
 	opts := pta.Options{Weights: s.effectiveWeights(pw), FillAlgo: fill}
+	// Cold builds observe the kernel's certified monotone coverage; every
+	// answered budget counts against the set's resolved fill algorithm
+	// (ptafill_* family).
+	build := func() (*pta.MatrixSet, error) {
+		set, err := pta.NewMatrixSet(series, pw.Strategy, opts)
+		if err == nil {
+			s.metrics.fillCoverage.Observe(set.MonotoneCoverage())
+		}
+		return set, err
+	}
 	var res *pta.Result
 	var err error
 	if s.store == nil {
 		start := time.Now()
-		res, err = entry.compress(ctx, s.cache,
-			func() (*pta.MatrixSet, error) {
-				return pta.NewMatrixSet(series, pw.Strategy, opts)
-			},
+		res, err = entry.compress(ctx, s.cache, build,
 			func(set *pta.MatrixSet) (*pta.Result, error) {
-				return set.Compress(ctx, plan.Budget)
+				res, err := set.Compress(ctx, plan.Budget)
+				if err == nil {
+					s.metrics.fillServed(set.FillAlgo())
+				}
+				return res, err
 			})
 		if err == nil && !hit {
 			s.metrics.fillSeconds.Observe(time.Since(start).Seconds())
@@ -353,13 +368,14 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 					entry.spilled.Store(int64(set.Rows())) // disk already has these rows
 					return set, nil
 				}
-				return pta.NewMatrixSet(series, pw.Strategy, opts)
+				return build()
 			},
 			func(set *pta.MatrixSet) (*pta.Result, error) {
 				res, err := set.Compress(ctx, plan.Budget)
 				// Spill under the entry semaphore whenever this evaluation
 				// deepened the matrices past what is already on disk.
 				if err == nil {
+					s.metrics.fillServed(set.FillAlgo())
 					if rows := int64(set.Rows()); rows > entry.spilled.Load() && s.store.store(key, set) {
 						entry.spilled.Store(rows)
 					}

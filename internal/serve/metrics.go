@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/pta"
 )
 
 // serverMetrics is the observability tier of one Server: an obs.Registry
@@ -26,6 +27,13 @@ type serverMetrics struct {
 	admissionRejected *obs.Counter
 	admissionQueued   *obs.Counter
 	fillSeconds       *obs.Histogram
+
+	// ptafill_* family: which kernel row-fill path production traffic
+	// takes. fillRequests children are pre-resolved per concrete algorithm
+	// (the resolved choice, never "auto"); fillCoverage observes each cold
+	// matrix-set build's certified monotone coverage.
+	fillRequests map[string]*obs.Counter
+	fillCoverage *obs.Histogram
 }
 
 // endpointMetrics carries one endpoint's pre-resolved children. codes is a
@@ -79,6 +87,18 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Over-budget requests serialized through the oversized slot (AdmissionPolicy queue)."),
 		fillSeconds: reg.NewHistogram("ptaserve_cache_fill_seconds",
 			"Latency of cold matrix-set builds (the first fill of a cache entry).", nil),
+		fillRequests: make(map[string]*obs.Counter),
+		fillCoverage: reg.NewHistogram("ptafill_monotone_coverage",
+			"Certified monotone dispatch coverage of each cold matrix-set build (0 = oscillating noise, 1 = counter-like).",
+			[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}),
+	}
+	fillVec := reg.NewCounterVec("ptafill_requests_total",
+		"Compress requests answered by the exact DP, by resolved row-fill algorithm.", "algo")
+	for _, name := range pta.FillAlgoNames() {
+		if name == "auto" {
+			continue // auto always resolves to a concrete algorithm
+		}
+		m.fillRequests[name] = fillVec.With(name)
 	}
 	for _, name := range endpointNames {
 		m.endpoints[name] = &endpointMetrics{
@@ -140,6 +160,25 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	reg.RegisterRuntimeMetrics()
 	return m
+}
+
+// fillRequestCounts snapshots the ptafill_requests_total children for the
+// /v1/stats fill block, by algorithm name.
+func (s *Server) fillRequestCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(s.metrics.fillRequests))
+	for name, c := range s.metrics.fillRequests {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// fillServed records one exact-DP compression under the row-fill algorithm
+// its matrix set resolved to (a pre-resolved child; unknown names — never
+// produced by the solver — are dropped rather than allocated).
+func (m *serverMetrics) fillServed(algo pta.FillAlgo) {
+	if c := m.fillRequests[algo.String()]; c != nil {
+		c.Inc()
+	}
 }
 
 // statusWriter captures the response status for the middleware; pooled so

@@ -93,6 +93,8 @@ func TestMetricsEndpointLintsAndAgreesWithStats(t *testing.T) {
 		"ptaserve_cache_entries",
 		"ptaserve_cache_fill_seconds_bucket",
 		"ptaserve_spill_loads_total",
+		"ptafill_requests_total",
+		"ptafill_monotone_coverage_bucket",
 		"go_goroutines",
 		"go_gc_cycles_total",
 	} {

@@ -117,6 +117,16 @@ func (m *MatrixSet) Rows() int { return m.sv.Rows() }
 // MemBytes estimates the retained matrix memory, for byte-bounded caches.
 func (m *MatrixSet) MemBytes() int64 { return m.sv.MemBytes() }
 
+// FillAlgo returns the concrete row-fill algorithm the set's solver
+// resolved to (never FillAuto) — what /metrics reports as the kernel path
+// production traffic takes.
+func (m *MatrixSet) FillAlgo() FillAlgo { return m.sv.Fill() }
+
+// MonotoneCoverage reports the fraction of the series' rows the monotone
+// row fills accelerate (see pta.MonotoneCoverage); cached with the set's
+// kernel, so per-request scrapes are free.
+func (m *MatrixSet) MonotoneCoverage() float64 { return m.sv.MonotoneCoverage() }
+
 // Compress answers one budget from the warm matrices, filling further rows
 // only when the budget needs deeper ones. Errors are the typed facade
 // errors (ErrBudgetInfeasible, ErrCanceled, ...); Result.Stats reports the

@@ -95,11 +95,16 @@ const (
 	// FillSMAWK is the SMAWK row-minima fill, O(n) per row on counter-like
 	// series.
 	FillSMAWK = core.FillSMAWK
+	// FillOnline is the online (LARSCH-style) monotone frontier fill: cells
+	// answered left to right with incremental candidate maintenance, the
+	// algorithm the incremental Solver and the streaming exact-DP path
+	// auto-select.
+	FillOnline = core.FillOnline
 )
 
 // ParseFillAlgo resolves a fill-algorithm name ("auto", "pruned", "dc",
-// "smawk"). Unknown names fail with a facade-level error listing the
-// recognized names.
+// "smawk", "online"). Unknown names fail with a facade-level error listing
+// the recognized names.
 func ParseFillAlgo(s string) (FillAlgo, error) {
 	a, err := core.ParseFillAlgo(s)
 	if err != nil {
@@ -200,6 +205,10 @@ type Stats struct {
 	Cells int64
 	// InnerIters is the number of DP split points tried across all cells.
 	InnerIters int64
+	// EnvelopeSkips is the number of DP candidates discarded in O(1) range
+	// skips by the envelope-pruned completion scan (zero for non-DP
+	// strategies and for workloads whose cells never reach the envelope).
+	EnvelopeSkips int64
 	// Merges is the number of greedy merge steps performed.
 	Merges int
 	// MaxHeap is the largest number of tuples simultaneously held by a
@@ -260,7 +269,7 @@ func MaxError(s *Series, opts Options) (float64, error) {
 
 // MonotoneCoverage reports the fraction of the series' rows lying inside
 // piecewise-monotone segments long enough for the exact DP's monotone row
-// fills (FillDC/FillSMAWK) to engage — 1.0 on counter-like data, 0.0 on
+// fills (FillDC/FillSMAWK/FillOnline) to engage — 1.0 on counter-like data, 0.0 on
 // pure oscillating noise. It predicts how much of an evaluation runs at the
 // monotone fills' O(n log n)/O(n) per-row cost instead of the pruned scan's;
 // results are bit-identical either way. The weights only validate (the

@@ -262,6 +262,43 @@ func TestStreamMatchesInMemory(t *testing.T) {
 	}
 }
 
+// TestStreamExactDP: the exact DP strategies answer CompressStream with
+// results identical to in-memory Compress (the streaming path materializes
+// and solves incrementally), and error budgets need no Estimate — exactness
+// computes the true SSEmax after the stream ends.
+func TestStreamExactDP(t *testing.T) {
+	seq := grouped(t)
+	c := max(seq.CMin(), seq.Len()/8)
+	mem, err := pta.Compress(seq, "ptac", pta.Size(c), pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := pta.CompressStream(pta.NewStream(seq), "ptac", pta.Size(c), pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.C != mem.C || streamed.Error != mem.Error {
+		t.Errorf("streaming ptac (c=%d, err=%v) differs from in-memory (c=%d, err=%v)",
+			streamed.C, streamed.Error, mem.C, mem.Error)
+	}
+	if !mem.Series.Equal(streamed.Series, 0) {
+		t.Error("streaming and in-memory ptac series differ")
+	}
+
+	memE, err := pta.Compress(seq, "ptae", pta.ErrorBound(0.1), pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamedE, err := pta.CompressStream(pta.NewStream(seq), "ptae", pta.ErrorBound(0.1), pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamedE.C != memE.C || streamedE.Error != memE.Error {
+		t.Errorf("streaming ptae (c=%d, err=%v) differs from in-memory (c=%d, err=%v)",
+			streamedE.C, streamedE.Error, memE.C, memE.Error)
+	}
+}
+
 // TestFacadeErrors pins the sentinel error contract.
 func TestFacadeErrors(t *testing.T) {
 	seq := projITA(t)
@@ -277,8 +314,8 @@ func TestFacadeErrors(t *testing.T) {
 	if _, err := pta.Compress(seq, "ptac", pta.Budget{}, pta.Options{}); err == nil {
 		t.Error("zero budget should fail")
 	}
-	if _, err := pta.CompressStream(pta.NewStream(seq), "ptac", pta.Size(4), pta.Options{}); !errors.Is(err, pta.ErrNotStreaming) {
-		t.Errorf("CompressStream on ptac: %v", err)
+	if _, err := pta.CompressStream(pta.NewStream(seq), "gms", pta.Size(4), pta.Options{}); !errors.Is(err, pta.ErrNotStreaming) {
+		t.Errorf("CompressStream on gms: %v", err)
 	}
 	if _, err := pta.CompressStream(pta.NewStream(seq), "gptae", pta.ErrorBound(0.1), pta.Options{}); err == nil {
 		t.Error("streaming error budget without estimate should fail")

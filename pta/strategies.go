@@ -86,6 +86,47 @@ type parallelDPEvaluator struct {
 	funcEvaluator
 }
 
+// streamDPEvaluator makes the fully pruned exact DP stream-capable: the
+// stream is materialized and answered by an incremental core.Solver, whose
+// row-at-a-time Deepen path auto-selects the online monotone fill
+// (FillOnline) on certified data. Unlike the greedy gPTA evaluators this is
+// not bounded-memory — exactness requires the whole input — but it lets a
+// CompressStream pipeline keep one code path while choosing exact results,
+// and error budgets need no (N, EMax) estimate: the exact SSEmax is
+// computed after materialization.
+type streamDPEvaluator struct {
+	parallelDPEvaluator
+}
+
+func (f *streamDPEvaluator) EvaluateStream(ctx context.Context, src Stream, b Budget, opts Options) (*Result, error) {
+	seq := src.Sequence()
+	var rows []Row
+	for {
+		row, ok := src.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	s := seq.WithRows(rows)
+	if s.Len() == 0 {
+		// The batch entry points own the empty-input semantics; the solver
+		// refuses empty relations.
+		return f.Evaluate(ctx, s, b, opts)
+	}
+	sv, err := core.NewSolver(s, opts.coreOptions(), true, true)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Kind() {
+	case BudgetSize:
+		return fromDP(sv.SolveSize(ctx, b.C()))
+	case BudgetError:
+		return fromDP(sv.SolveError(ctx, b.Eps()))
+	}
+	return nil, ErrBudgetKind
+}
+
 func (f *parallelDPEvaluator) EvaluateParallel(ctx context.Context, s *Series, b Budget, opts Options, workers int) (*Result, error) {
 	copts := opts.coreOptionsCtx(ctx)
 	switch b.Kind() {
@@ -106,7 +147,11 @@ func fromDP(res *core.DPResult, err error) (*Result, error) {
 		Series: res.Sequence,
 		C:      res.C,
 		Error:  res.Error,
-		Stats:  Stats{Cells: res.Stats.Cells, InnerIters: res.Stats.InnerIters},
+		Stats: Stats{
+			Cells:         res.Stats.Cells,
+			InnerIters:    res.Stats.InnerIters,
+			EnvelopeSkips: res.Stats.EnvelopeSkips,
+		},
 	}, nil
 }
 
@@ -149,7 +194,7 @@ func dpStrategy(name, desc string, mode core.PruneMode) Evaluator {
 		},
 	}
 	if mode == core.PruneBoth {
-		return &parallelDPEvaluator{funcEvaluator: fe}
+		return &streamDPEvaluator{parallelDPEvaluator{funcEvaluator: fe}}
 	}
 	return &fe
 }
