@@ -19,6 +19,12 @@
 // cache hits — the CI guard that the serving stack's cache actually works
 // end to end.
 //
+// With -peer-base the tool replays one round of the warm plan mix against a
+// second daemon peered with the first (ptaserve -peers). That daemon never
+// saw the workload, so every hit there was fetched over the peer warm tier;
+// the report gains a "peer_warm" block and "peer_hit_ratio", and
+// -require-hits guards the peer phase too.
+//
 // Example session:
 //
 //	ptaserve -addr 127.0.0.1:8080 -spill-dir /tmp/spill &
@@ -81,6 +87,7 @@ type wireResult struct {
 // options carries every flag so tests drive run() without a flag set.
 type options struct {
 	base        string
+	peerBase    string
 	series      int
 	rows        int
 	workers     int
@@ -118,11 +125,17 @@ type report struct {
 	// the cold fill, this is the fraction of traffic the matrix cache (or
 	// its spill tier) absorbed without re-running the DP.
 	HitRatio float64 `json:"hit_ratio"`
+	// PeerWarm (with -peer-base) replays one round of the warm plan mix
+	// against a second daemon that never saw the workload: every hit there
+	// was fetched over the peer warm tier instead of re-running the DP.
+	PeerWarm     *phaseReport `json:"peer_warm,omitempty"`
+	PeerHitRatio float64      `json:"peer_hit_ratio,omitempty"`
 }
 
 func main() {
 	var opts options
 	flag.StringVar(&opts.base, "base", "http://127.0.0.1:8080", "ptaserve base URL")
+	flag.StringVar(&opts.peerBase, "peer-base", "", "second ptaserve base URL peered with -base: replay the warm mix there to measure peer-tier warm hits")
 	flag.IntVar(&opts.series, "series", 12, "distinct series in the workload")
 	flag.IntVar(&opts.rows, "rows", 512, "rows per series")
 	flag.IntVar(&opts.workers, "c", 4, "concurrent client workers")
@@ -360,8 +373,41 @@ func run(opts options, logger *log.Logger) (*report, error) {
 	logger.Printf("cold p50=%.2fms p99=%.2fms rps=%.1f | warm p50=%.2fms p99=%.2fms rps=%.1f hit_ratio=%.3f",
 		cold.P50MS, cold.P99MS, cold.RPS, warm.P50MS, warm.P99MS, warm.RPS, rep.HitRatio)
 
-	if cold.Errors+warm.Errors > 0 {
-		return rep, fmt.Errorf("ptaload: %d requests failed", cold.Errors+warm.Errors)
+	// Peer-warm phase: one round of the same plan mix against a daemon
+	// that never saw the workload. Its matrices can only arrive over the
+	// peer tier, so hits here measure peer fetch + mmap restore latency.
+	errorCount := cold.Errors + warm.Errors
+	if opts.peerBase != "" {
+		resp, err := client.Get(opts.peerBase + "/healthz")
+		if err != nil {
+			return rep, fmt.Errorf("ptaload: peer target %s unreachable: %w", opts.peerBase, err)
+		}
+		resp.Body.Close()
+		var peerJobs []job
+		for _, s := range workload {
+			for _, p := range warmPlans {
+				peerJobs = append(peerJobs, marshal(s, p))
+			}
+		}
+		logger.Printf("peer-warm phase: 1 round × %d series × %d plans against %s", len(workload), len(warmPlans), opts.peerBase)
+		peer, err := runPhase(client, opts.peerBase, peerJobs, opts.workers)
+		if err != nil {
+			return rep, err
+		}
+		rep.PeerWarm = &peer
+		if ok := peer.Requests - peer.Errors; ok > 0 {
+			rep.PeerHitRatio = float64(peer.Hits) / float64(ok)
+		}
+		logger.Printf("peer-warm p50=%.2fms p99=%.2fms rps=%.1f hit_ratio=%.3f",
+			peer.P50MS, peer.P99MS, peer.RPS, rep.PeerHitRatio)
+		errorCount += peer.Errors
+		if opts.requireHits && peer.Hits == 0 {
+			return rep, fmt.Errorf("ptaload: peer-warm phase saw zero cache hits across %d requests", peer.Requests)
+		}
+	}
+
+	if errorCount > 0 {
+		return rep, fmt.Errorf("ptaload: %d requests failed", errorCount)
 	}
 	if opts.requireHits && warm.Hits == 0 {
 		return rep, fmt.Errorf("ptaload: warm phase saw zero cache hits across %d requests", warm.Requests)

@@ -14,11 +14,19 @@ import (
 // loadTestServer mounts a real serve.Server on an httptest listener.
 func loadTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
+	return loadTestServerCfg(t, serve.Config{})
+}
+
+// loadTestServerCfg is loadTestServer with a caller-shaped Config (the
+// Engine is always filled in).
+func loadTestServerCfg(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
 	engine, err := pta.New()
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := serve.New(serve.Config{Engine: engine})
+	cfg.Engine = engine
+	s, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +74,51 @@ func TestRunColdWarmAgainstLiveServer(t *testing.T) {
 	}
 	if rep.Cold.RPS <= 0 || rep.Warm.RPS <= 0 {
 		t.Errorf("rps cold=%v warm=%v, want > 0", rep.Cold.RPS, rep.Warm.RPS)
+	}
+}
+
+// TestRunPeerWarmPhase: with -peer-base pointing at a peered daemon that
+// never saw the workload, the peer_warm block must report hits — every
+// matrix arriving over the peer tier, none from a local fill.
+func TestRunPeerWarmPhase(t *testing.T) {
+	primary := loadTestServerCfg(t, serve.Config{SpillDir: t.TempDir()})
+	peer := loadTestServerCfg(t, serve.Config{
+		SpillDir: t.TempDir(),
+		Peers:    []string{primary.URL},
+	})
+	rep, err := run(options{
+		base: primary.URL, peerBase: peer.URL, series: 3, rows: 64,
+		workers: 2, warmRounds: 1, timeout: 30 * time.Second, requireHits: true,
+	}, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.PeerWarm == nil {
+		t.Fatal("report has no peer_warm block")
+	}
+	// 1 round × 3 series × 3 plans, every one peer-warmed.
+	if rep.PeerWarm.Requests != 9 || rep.PeerWarm.Errors != 0 {
+		t.Errorf("peer-warm phase: %+v", rep.PeerWarm)
+	}
+	if rep.PeerWarm.Hits != 9 || rep.PeerHitRatio != 1 {
+		t.Errorf("peer-warm hits = %d ratio = %v, want 9 and 1.0",
+			rep.PeerWarm.Hits, rep.PeerHitRatio)
+	}
+}
+
+// TestRunPeerUnreachable: a dead -peer-base must fail the run even when the
+// primary phases succeeded.
+func TestRunPeerUnreachable(t *testing.T) {
+	ts := loadTestServer(t)
+	rep, err := run(options{
+		base: ts.URL, peerBase: "http://127.0.0.1:1", series: 1, rows: 64,
+		workers: 1, warmRounds: 1, timeout: 5 * time.Second,
+	}, log.New(io.Discard, "", 0))
+	if err == nil {
+		t.Fatal("run succeeded with an unreachable peer target")
+	}
+	if rep == nil || rep.PeerWarm != nil {
+		t.Errorf("want a report with primary phases only, got %+v", rep)
 	}
 }
 

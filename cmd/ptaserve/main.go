@@ -33,6 +33,14 @@
 //	ptaserve -addr :8081 -spill-dir /var/cache/w1 &
 //	ptaserve -addr :8082 -spill-dir /var/cache/w2 &
 //	ptaserve -addr :8080 -workers http://localhost:8081,http://localhost:8082 &
+//
+// With -peers the daemons form a shared warm tier: on a cache miss each
+// worker asks its peers for the content-addressed matrix blob before paying
+// the cold DP fill, so a restarted worker with an empty spill volume
+// re-warms from the fleet instead of recomputing:
+//
+//	ptaserve -addr :8081 -spill-dir /var/cache/w1 -peers http://localhost:8082 &
+//	ptaserve -addr :8082 -spill-dir /var/cache/w2 -peers http://localhost:8081 &
 package main
 
 import (
@@ -53,8 +61,8 @@ import (
 	"repro/pta"
 )
 
-// splitWorkers parses the comma-separated -workers list, dropping empties.
-func splitWorkers(s string) []string {
+// splitList parses a comma-separated URL list flag, dropping empties.
+func splitList(s string) []string {
 	var out []string
 	for _, w := range strings.Split(s, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -77,6 +85,7 @@ type options struct {
 	maxCells  int64
 	admission string
 	workers   string
+	peers     string
 }
 
 func main() {
@@ -92,6 +101,7 @@ func main() {
 	flag.Int64Var(&opts.maxCells, "max-cells", 0, "admission budget: max estimated DP cells per request (0 = unlimited)")
 	flag.StringVar(&opts.admission, "admission", "reject", "over-budget policy: reject (429) or queue (serialize)")
 	flag.StringVar(&opts.workers, "workers", "", "comma-separated ptaserve worker base URLs enabling the \"dist\" strategy (this daemon coordinates)")
+	flag.StringVar(&opts.peers, "peers", "", "comma-separated peer ptaserve base URLs forming a shared warm tier (cache misses try peers before the cold DP fill)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ptaserve: ", log.LstdFlags)
@@ -117,7 +127,7 @@ func run(opts options, logger *log.Logger) error {
 	reg := obs.NewRegistry()
 	if opts.workers != "" {
 		co, err := dist.New(
-			dist.WithWorkers(splitWorkers(opts.workers)...),
+			dist.WithWorkers(splitList(opts.workers)...),
 			dist.WithRegistry(reg),
 		)
 		if err != nil {
@@ -134,6 +144,7 @@ func run(opts options, logger *log.Logger) error {
 		MaxInflight:       opts.inflight,
 		DrainTimeout:      opts.drain,
 		SpillDir:          opts.spillDir,
+		Peers:             splitList(opts.peers),
 		AdmissionMaxCells: opts.maxCells,
 		AdmissionPolicy:   opts.admission,
 		Logger:            logger,

@@ -25,6 +25,7 @@ type Solver struct {
 	filled int
 	bound  float64 // SSEmax, resolved lazily for error budgets
 	hasMax bool
+	lazy   SplitRowSource // non-nil after RestoreLazy; rows 1..restored may be unmaterialized
 }
 
 // NewSolver builds a solver for the sequence with the given pruning flags
@@ -130,6 +131,9 @@ func (sv *Solver) SolveSize(ctx context.Context, c int) (*DPResult, error) {
 	if err := sv.ensure(ctx, c); err != nil {
 		return nil, err
 	}
+	if err := sv.materialize(c); err != nil {
+		return nil, err
+	}
 	return &DPResult{
 		Sequence: sv.kn.Sequence().WithRows(sv.st.reconstruct(c)),
 		C:        c,
@@ -156,8 +160,13 @@ type SolverState struct {
 }
 
 // State snapshots the filled rows. The returned slices are copies; the
-// solver may keep filling afterwards.
-func (sv *Solver) State() *SolverState {
+// solver may keep filling afterwards. A lazily restored solver materializes
+// every outstanding row first, so the error surfaces here when the backing
+// store has gone bad rather than as a torn snapshot.
+func (sv *Solver) State() (*SolverState, error) {
+	if err := sv.materialize(sv.filled); err != nil {
+		return nil, err
+	}
 	n := sv.kn.N()
 	st := &SolverState{
 		N:      n,
@@ -173,7 +182,7 @@ func (sv *Solver) State() *SolverState {
 			copy(st.Splits[k*(n+1):(k+1)*(n+1)], sv.st.splits[k])
 		}
 	}
-	return st
+	return st, nil
 }
 
 // Restore injects a snapshot into a freshly built solver (zero rows
@@ -215,6 +224,94 @@ func (sv *Solver) Restore(st *SolverState) error {
 	return nil
 }
 
+// SplitRowSource supplies individual restored split-point rows on demand:
+// the lazy counterpart of SolverState.Splits, backed by an mmap'd spill file
+// in the serve layer so a huge warm matrix costs page faults proportional to
+// the rows a budget actually walks. SplitRow returns J[k][0..n] for a
+// 1-based k ≤ the restored Filled; implementations validate their own
+// framing (CRCs) and return an error for rows they can no longer produce.
+type SplitRowSource interface {
+	SplitRow(k int) ([]int32, error)
+}
+
+// WarmLostError reports that a lazily restored row could not be
+// materialized — the backing store was truncated, corrupted or unmapped
+// after RestoreLazy. The solver's remaining state is unusable; callers
+// discard it and rebuild cold.
+type WarmLostError struct {
+	Row int // 1-based row that failed to materialize
+	Err error
+}
+
+func (e *WarmLostError) Error() string {
+	return fmt.Sprintf("core: lazily restored split row %d lost: %v", e.Row, e.Err)
+}
+
+func (e *WarmLostError) Unwrap() error { return e.Err }
+
+// RestoreLazy is Restore with the split-point rows left behind a
+// SplitRowSource instead of copied up front: the scalar state (row errors,
+// resume row, bound) restores eagerly — SolveError's search scans RowErr, so
+// it must be resident — while each J row materializes on first touch by a
+// reconstruction. st.Splits is ignored; rows is consulted once per row and
+// the solver retains what it returns, so a row is read (and its CRC paid)
+// at most once per solver lifetime.
+func (sv *Solver) RestoreLazy(st *SolverState, rows SplitRowSource) error {
+	n := sv.kn.N()
+	switch {
+	case rows == nil:
+		return fmt.Errorf("core: lazy restore without a row source")
+	case sv.filled != 0:
+		return fmt.Errorf("core: restore into a solver with %d filled rows", sv.filled)
+	case st.N != n:
+		return fmt.Errorf("core: snapshot n=%d, solver n=%d", st.N, n)
+	case st.Filled < 1 || st.Filled > n:
+		return fmt.Errorf("core: snapshot filled=%d outside 1..%d", st.Filled, n)
+	case len(st.RowErr) != st.Filled:
+		return fmt.Errorf("core: snapshot has %d row errors, want %d", len(st.RowErr), st.Filled)
+	case len(st.LastE) != n+1:
+		return fmt.Errorf("core: snapshot last row has %d cells, want %d", len(st.LastE), n+1)
+	}
+	// Unmaterialized rows are nil slots; fillRow appends deeper rows after
+	// them, so Deepen works before any reconstruction forces a read.
+	sv.st.splits = append(sv.st.splits[:0], make([][]int32, st.Filled)...)
+	copy(sv.st.curE, st.LastE)
+	copy(sv.rowErr[1:], st.RowErr)
+	sv.filled = st.Filled
+	sv.bound, sv.hasMax = st.Bound, st.HasMax
+	sv.lazy = rows
+	return nil
+}
+
+// materialize loads every still-lazy split row in 1..k, validating shape and
+// range exactly like Restore. reconstruct(k) walks rows k..1 unconditionally,
+// so it runs behind this; eagerly restored solvers return immediately.
+func (sv *Solver) materialize(k int) error {
+	if sv.lazy == nil {
+		return nil
+	}
+	n := sv.kn.N()
+	for r := 1; r <= k && r <= len(sv.st.splits); r++ {
+		if sv.st.splits[r-1] != nil {
+			continue
+		}
+		row, err := sv.lazy.SplitRow(r)
+		if err != nil {
+			return &WarmLostError{Row: r, Err: err}
+		}
+		if len(row) != n+1 {
+			return &WarmLostError{Row: r, Err: fmt.Errorf("row has %d cells, want %d", len(row), n+1)}
+		}
+		for _, j := range row {
+			if j < 0 || int(j) > n {
+				return &WarmLostError{Row: r, Err: fmt.Errorf("split point %d outside 0..%d", j, n)}
+			}
+		}
+		sv.st.splits[r-1] = row
+	}
+	return nil
+}
+
 // SolveError answers an error budget eps ∈ [0, 1]: the smallest k whose
 // reduction introduces at most eps·SSEmax error. Rows filled while searching
 // are retained for later budgets.
@@ -235,6 +332,9 @@ func (sv *Solver) SolveError(ctx context.Context, eps float64) (*DPResult, error
 			}
 		}
 		if sv.rowErr[k] <= bound {
+			if err := sv.materialize(k); err != nil {
+				return nil, err
+			}
 			return &DPResult{
 				Sequence: sv.kn.Sequence().WithRows(sv.st.reconstruct(k)),
 				C:        k,

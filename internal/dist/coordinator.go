@@ -25,6 +25,7 @@ const (
 	defaultBackoff      = 25 * time.Millisecond
 	defaultShardTimeout = 15 * time.Second
 	defaultFanout       = 16
+	defaultCurveEntries = 256
 	routedMemoLimit     = 4096
 	maxResponseBytes    = 64 << 20
 )
@@ -51,6 +52,10 @@ type Coordinator struct {
 	fanout  int // concurrent shard fetches
 
 	m *metrics
+
+	// curves is the sub-request cache over gathered per-run state (nil =
+	// disabled); see curveCache.
+	curves *curveCache
 
 	mu     sync.Mutex
 	ring   *ring
@@ -142,6 +147,24 @@ func WithFanout(n int) Option {
 	}
 }
 
+// WithCurveCache bounds the coordinator's sub-request cache of gathered
+// per-run error curves, in runs (default 256; 0 disables). Repeat
+// compressions whose runs are unchanged seed their shards from it and skip
+// the worker scatter entirely.
+func WithCurveCache(entries int) Option {
+	return func(c *Coordinator) error {
+		if entries < 0 {
+			return fmt.Errorf("dist: WithCurveCache(%d): want >= 0", entries)
+		}
+		if entries == 0 {
+			c.curves = nil
+			return nil
+		}
+		c.curves = newCurveCache(entries)
+		return nil
+	}
+}
+
 // WithRegistry puts the coordinator's metric families on reg instead of a
 // private registry, so one /metrics exposition carries them.
 func WithRegistry(reg *obs.Registry) Option {
@@ -164,6 +187,7 @@ func New(opts ...Option) (*Coordinator, error) {
 		backoff: defaultBackoff,
 		vnodes:  defaultVnodes,
 		fanout:  defaultFanout,
+		curves:  newCurveCache(defaultCurveEntries),
 		routed:  make(map[string]string),
 	}
 	for _, opt := range opts {
@@ -391,6 +415,17 @@ func (c *Coordinator) gather(ctx context.Context, shards []*shard, kcap int, opt
 	}
 	var jobs []job
 	for _, sh := range shards {
+		// A shard with no curve yet (first gather of this compression) seeds
+		// from the sub-request cache; whatever rows the fleet already paid
+		// for come back without a worker round trip, and only the missing
+		// depth — often none — is fetched below.
+		if c.curves != nil && len(sh.curve) == 0 {
+			if c.curves.seed(sh, curveKey(sh.fp, opts)) {
+				c.m.curveHits.Inc()
+			} else {
+				c.m.curveMisses.Inc()
+			}
+		}
 		to := min(sh.hi-sh.lo+1, kcap)
 		if from := len(sh.curve) + 1; from <= to {
 			jobs = append(jobs, job{sh, from, to})
@@ -413,7 +448,17 @@ func (c *Coordinator) gather(ctx context.Context, shards []*shard, kcap int, opt
 		}(i, j)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	// Store back every deepened shard so the next compression of an
+	// unchanged run starts this deep.
+	if c.curves != nil {
+		for _, j := range jobs {
+			c.curves.store(j.sh, curveKey(j.sh.fp, opts))
+		}
+	}
+	return nil
 }
 
 // fetchShard asks a worker for the shard's optimal reductions at every size

@@ -76,7 +76,10 @@ func assertSameResult(t *testing.T, name string, got, want *pta.Result) {
 // fault and requires byte-identical output plus a visible retry count.
 func TestDistFaultInjection(t *testing.T) {
 	cluster := disttest.NewCluster(t, 3, serve.Config{})
-	co := newTestCoordinator(t, cluster)
+	// The curve cache would answer the repeat compressions without touching
+	// a worker; disable it so every run re-exercises the scatter path the
+	// faults are injected into.
+	co := newTestCoordinator(t, cluster, WithCurveCache(0))
 	s := fixtureSeries(t)
 	budgets := []pta.Budget{pta.Size(s.CMin() + 1), pta.ErrorBound(0.4)}
 	baseline := make([]*pta.Result, len(budgets))
@@ -125,7 +128,8 @@ func TestDistFaultInjection(t *testing.T) {
 // worker (same address, same spill dir) and verifies again.
 func TestDistKillRestart(t *testing.T) {
 	cluster := disttest.NewCluster(t, 3, serve.Config{})
-	co := newTestCoordinator(t, cluster)
+	co := newTestCoordinator(t, cluster, WithCurveCache(0)) // repeats must re-scatter
+
 	s := fixtureSeries(t)
 	b := pta.Size((s.CMin() + s.Len()) / 2)
 	baseline := mustCompress(t, co, s, b)

@@ -14,6 +14,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -137,6 +139,7 @@ type Worker struct {
 	backend  *httptest.Server
 	Server   *serve.Server
 	spillDir string
+	peers    []string // re-applied on every boot, like a daemon's config file
 }
 
 // newWorker boots a serve.Server with its own spill dir and fronts it with
@@ -159,6 +162,9 @@ func (w *Worker) boot() {
 	w.t.Helper()
 	cfg := w.cfg
 	cfg.SpillDir = w.spillDir
+	if w.peers != nil {
+		cfg.Peers = w.peers
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
@@ -182,12 +188,38 @@ func (w *Worker) Kill() {
 	w.backend.Close()
 }
 
-// Restart boots a fresh server process on the same spill directory and
-// resumes service at the same address.
+// Restart boots a fresh server process on the same spill directory (and
+// the same peer wiring) and resumes service at the same address.
 func (w *Worker) Restart() {
 	w.t.Helper()
 	w.boot()
 	w.Proxy.down.Store(false)
+}
+
+// WipeSpill empties the worker's spill directory — the "lost volume"
+// restart scenario: call between Kill and Restart to bring the worker back
+// with no local warm state at all.
+func (w *Worker) WipeSpill() {
+	w.t.Helper()
+	entries, err := os.ReadDir(w.spillDir)
+	if err != nil {
+		w.t.Fatalf("disttest: wiping spill dir: %v", err)
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(w.spillDir, e.Name())); err != nil {
+			w.t.Fatalf("disttest: wiping spill dir: %v", err)
+		}
+	}
+}
+
+// SetPeers wires the worker into a peer warm tier by proxy addresses. The
+// list is applied to the live server and remembered across Restart.
+func (w *Worker) SetPeers(urls []string) {
+	w.t.Helper()
+	w.peers = append([]string(nil), urls...)
+	if err := w.Server.SetPeers(w.peers); err != nil {
+		w.t.Fatalf("disttest: SetPeers: %v", err)
+	}
 }
 
 // Cluster is N workers sharing one Config template (each gets a private
@@ -214,6 +246,22 @@ func (c *Cluster) URLs() []string {
 		urls[i] = w.URL()
 	}
 	return urls
+}
+
+// WirePeers connects every worker to all the others as a peer warm tier,
+// by proxy address (so peer fetches survive Kill/Restart of the target and
+// respect injected faults). The wiring persists across worker restarts.
+func (c *Cluster) WirePeers() {
+	urls := c.URLs()
+	for i, w := range c.Workers {
+		peers := make([]string, 0, len(urls)-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		w.SetPeers(peers)
+	}
 }
 
 // Close shuts every backend down (idempotent; proxies close via t.Cleanup).

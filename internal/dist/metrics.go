@@ -11,6 +11,8 @@ type metrics struct {
 	shards        *obs.Counter
 	retries       *obs.Counter
 	ringMoves     *obs.Counter
+	curveHits     *obs.Counter
+	curveMisses   *obs.Counter
 	workerSeconds *obs.HistogramVec
 }
 
@@ -25,6 +27,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Shard requests retried after a worker failure, timeout, error status or corrupt response."),
 		ringMoves: reg.NewCounter("ptadist_ring_moves_total",
 			"Recently routed series whose primary worker changed on a ring update."),
+		curveHits: reg.NewCounter("ptadist_curve_hits_total",
+			"Shards seeded from the coordinator's sub-request curve cache (no worker scatter for already-gathered rows)."),
+		curveMisses: reg.NewCounter("ptadist_curve_misses_total",
+			"Shards whose run fingerprint was not in the sub-request curve cache."),
 		workerSeconds: reg.NewHistogramVec("ptadist_worker_request_seconds",
 			"Latency of one worker HTTP request, by worker.", nil, "worker"),
 	}

@@ -26,6 +26,7 @@ type matrixCache struct {
 	capacity int
 	ll       *list.List               // front = most recently used
 	byKey    map[string]*list.Element // value: *cacheEntry
+	byHash   map[string]*list.Element // spillHash(key) → same element, for /v1/matrix
 
 	hits, misses, evictions atomic.Int64
 }
@@ -37,7 +38,8 @@ type matrixCache struct {
 // not a mutex, so a waiting request still honors its own deadline instead
 // of blocking unboundedly behind another request's long fill.
 type cacheEntry struct {
-	key string
+	key  string
+	hash string // spillHash(key): the content address peers fetch by
 
 	sem chan struct{} // capacity 1
 	set *pta.MatrixSet
@@ -50,6 +52,11 @@ type cacheEntry struct {
 	// spilled is how many rows the persistent tier already holds for this
 	// key, so repeated budgets do not rewrite an unchanged spill file.
 	spilled atomic.Int64
+
+	// cells is the set's cumulative DP fill as of the last evaluation; the
+	// per-evaluation delta feeds ptaserve_dp_cells_filled_total, the counter
+	// the warm-tier tests use to prove "zero cells recomputed".
+	cells atomic.Int64
 }
 
 // newMatrixCache builds a cache holding at most capacity entries (≥ 1).
@@ -58,6 +65,7 @@ func newMatrixCache(capacity int) *matrixCache {
 		capacity: max(1, capacity),
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
+		byHash:   make(map[string]*list.Element),
 	}
 }
 
@@ -86,15 +94,33 @@ func (c *matrixCache) acquire(key string) (*cacheEntry, bool) {
 		return el.Value.(*cacheEntry), true
 	}
 	c.misses.Add(1)
-	e := &cacheEntry{key: key, sem: make(chan struct{}, 1)}
-	c.byKey[key] = c.ll.PushFront(e)
+	e := &cacheEntry{key: key, hash: spillHash(key), sem: make(chan struct{}, 1)}
+	el := c.ll.PushFront(e)
+	c.byKey[key] = el
+	c.byHash[e.hash] = el
 	for c.ll.Len() > c.capacity {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.byKey, back.Value.(*cacheEntry).key)
+		evicted := back.Value.(*cacheEntry)
+		delete(c.byKey, evicted.key)
+		delete(c.byHash, evicted.hash)
 		c.evictions.Add(1)
 	}
 	return e, false
+}
+
+// lookupByHash resolves a content address to its resident entry for the
+// peer /v1/matrix endpoint, touching the LRU (a peer fetch is a use) but
+// not the hit/miss counters (those count compression lookups).
+func (c *matrixCache) lookupByHash(hash string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byHash[hash]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry)
 }
 
 // discard drops an entry whose MatrixSet failed to build, so a poisoned key
@@ -105,6 +131,7 @@ func (c *matrixCache) discard(e *cacheEntry) {
 	if el, ok := c.byKey[e.key]; ok && el.Value.(*cacheEntry) == e {
 		c.ll.Remove(el)
 		delete(c.byKey, e.key)
+		delete(c.byHash, e.hash)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"repro/pta"
@@ -21,23 +22,46 @@ import (
 // fingerprint, DP class, weights), hashed into the file name — like the
 // in-memory cache, invalidation is by displacement only: a changed series
 // fingerprints to a new key and the stale file is simply never read again.
+// The same content-addressed blobs travel between workers over GET
+// /v1/matrix/{hash} (the peer warm tier); adopt writes a fetched blob
+// through to disk so the next restart warms locally.
 //
-// The on-disk format is versioned and checksummed; load treats any
-// mismatch (magic, version, key, shape, CRC) as a cold miss, removes the
-// bad file and lets the caller rebuild. Writes go through a temp file +
-// rename so a crash mid-write never leaves a torn file under a live key.
+// The on-disk format is versioned and checksummed in two granularities: an
+// eagerly validated header (identity, shapes, row errors, resume row) and
+// one CRC per split-point row, so load can hand the row region to an
+// mmap-backed lazy view and each row's integrity is paid on first touch
+// instead of at load time. Header-level mismatches (magic, version, key,
+// shape, CRC, truncated row region) are a cold miss: the bad file is
+// removed and the caller rebuilds. Row-level corruption surfaces later as a
+// pta.WarmLostError from the evaluation; the serve layer then calls
+// discardCorrupt and retries cold. Writes go through a temp file + rename
+// so a crash mid-write never leaves a torn file under a live key.
 type cacheStore struct {
 	dir      string
 	maxBytes int64
 
 	loads, stores, errors atomic.Int64
+
+	// views tracks the live lazy view per spill path so corrupt-file
+	// removal can unmap before unlinking (satellite: a concurrently mmap'd
+	// reader must observe a clean error, never a stale mapping or SIGBUS
+	// after the file is replaced). Superseded views (a deepened re-spill
+	// renames a new inode over the path) stay valid over their old inode
+	// and are unmapped by their GC cleanup.
+	viewsMu sync.Mutex
+	views   map[string]*slabView
 }
 
 const (
-	spillMagic   = "PTAM"
-	spillVersion = uint32(1)
-	spillSuffix  = ".ptam"
+	spillMagic    = "PTAM"
+	spillVersion  = uint32(2)
+	spillSuffix   = ".ptam"
+	spillPreamble = 12 // magic + version + headerLen
 )
+
+// spillRowSize is the on-disk footprint of one split row: n+1 little-endian
+// uint32 cells plus a CRC32 over them.
+func spillRowSize(n int) int { return (n+1)*4 + 4 }
 
 // newCacheStore opens (creating if needed) the spill directory. maxBytes
 // bounds one spill file (0 = 64 MiB); oversized snapshots stay memory-only.
@@ -48,21 +72,34 @@ func newCacheStore(dir string, maxBytes int64) (*cacheStore, error) {
 	if maxBytes == 0 {
 		maxBytes = 64 << 20
 	}
-	return &cacheStore{dir: dir, maxBytes: maxBytes}, nil
+	return &cacheStore{dir: dir, maxBytes: maxBytes, views: make(map[string]*slabView)}, nil
 }
 
-// path maps a cache key to its spill file. The key embeds a sha256 content
-// fingerprint already; hashing the whole key keeps file names short and
-// filesystem-safe regardless of weight vectors.
-func (cs *cacheStore) path(key string) string {
+// spillHash maps a cache key to its content address: the hex of the first
+// 16 sha256 bytes. It names the spill file and the /v1/matrix/{hash} peer
+// resource. The key embeds a sha256 content fingerprint already; hashing
+// the whole key keeps names short and filesystem-safe regardless of weight
+// vectors.
+func spillHash(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(cs.dir, hex.EncodeToString(sum[:16])+spillSuffix)
+	return hex.EncodeToString(sum[:16])
+}
+
+// path maps a cache key to its spill file.
+func (cs *cacheStore) path(key string) string { return cs.pathForHash(spillHash(key)) }
+
+func (cs *cacheStore) pathForHash(hash string) string {
+	return filepath.Join(cs.dir, hash+spillSuffix)
 }
 
 // store spills one warm set's snapshot, reporting whether a file was
 // written. Failures only count errors — the in-memory entry stays valid.
 func (cs *cacheStore) store(key string, set *pta.MatrixSet) bool {
-	snap := set.Snapshot()
+	snap, err := set.Snapshot()
+	if err != nil {
+		cs.errors.Add(1)
+		return false
+	}
 	if snap.Filled == 0 {
 		return false
 	}
@@ -70,6 +107,19 @@ func (cs *cacheStore) store(key string, set *pta.MatrixSet) bool {
 	if int64(len(data)) > cs.maxBytes {
 		return false
 	}
+	return cs.writeBlob(key, data)
+}
+
+// adopt writes a peer-fetched, already-validated blob through to the local
+// spill file, so the warmth survives this worker's own restarts too.
+func (cs *cacheStore) adopt(key string, data []byte) bool {
+	if int64(len(data)) > cs.maxBytes {
+		return false
+	}
+	return cs.writeBlob(key, data)
+}
+
+func (cs *cacheStore) writeBlob(key string, data []byte) bool {
 	tmp, err := os.CreateTemp(cs.dir, "spill-*")
 	if err != nil {
 		cs.errors.Add(1)
@@ -86,33 +136,116 @@ func (cs *cacheStore) store(key string, set *pta.MatrixSet) bool {
 	return true
 }
 
-// load restores a warm set for key over the series, or nil on any miss:
-// no file, corrupt file, stale version, or a snapshot the restore layer
-// rejects. Bad files are removed so the next miss goes straight to a cold
-// build instead of re-parsing garbage.
+// readBlob returns the raw spill bytes for a content hash, for the peer
+// /v1/matrix endpoint. The requester validates; serving is a plain read.
+func (cs *cacheStore) readBlob(hash string) []byte {
+	data, err := os.ReadFile(cs.pathForHash(hash))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// load restores a warm set for key over the series, or nil on any miss: no
+// file, or a file whose header fails validation (corrupt, stale version,
+// shape mismatch). The restored set is lazy: split rows stay behind an
+// mmap'd view (read-at fallback off unix) and materialize on first touch.
+// Header-level bad files are removed so the next miss goes straight to a
+// cold build instead of re-parsing garbage; row-level corruption is
+// detected on touch and handled by discardCorrupt.
 func (cs *cacheStore) load(key string, series *pta.Series, strategy string, opts pta.Options) *pta.MatrixSet {
 	path := cs.path(key)
-	data, err := os.ReadFile(path)
+	snap, view, err := cs.openView(path, key)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			cs.errors.Add(1)
+			cs.drop(path)
 		}
 		return nil
 	}
-	snap, err := decodeSnapshot(data, key)
+	set, err := pta.RestoreMatrixSetLazy(series, strategy, opts, snap, view)
 	if err != nil {
+		view.invalidate()
 		cs.errors.Add(1)
-		os.Remove(path)
+		cs.drop(path)
 		return nil
 	}
-	set, err := pta.RestoreMatrixSet(series, strategy, opts, snap)
-	if err != nil {
-		cs.errors.Add(1)
-		os.Remove(path)
-		return nil
-	}
+	cs.viewsMu.Lock()
+	cs.views[path] = view
+	cs.viewsMu.Unlock()
 	cs.loads.Add(1)
 	return set
+}
+
+// discardCorrupt removes key's spill file after its lazy view failed
+// mid-life (row CRC mismatch, truncation under the mapping): the view is
+// invalidated (unmapped) before the unlink and the failure is counted. The
+// caller rebuilds cold.
+func (cs *cacheStore) discardCorrupt(key string) {
+	cs.errors.Add(1)
+	cs.drop(cs.path(key))
+}
+
+// drop invalidates any live view over path before removing the file —
+// unmap-before-delete, so a concurrent reader of the old mapping gets a
+// clean "unmapped" error instead of touching freed pages.
+func (cs *cacheStore) drop(path string) {
+	cs.viewsMu.Lock()
+	if v := cs.views[path]; v != nil {
+		delete(cs.views, path)
+		v.invalidate()
+	} else {
+		cs.viewsMu.Unlock()
+		os.Remove(path)
+		return
+	}
+	cs.viewsMu.Unlock()
+	os.Remove(path)
+}
+
+// openView opens and header-validates one spill file, returning the eager
+// scalar state (Splits nil) and the lazy row view. Any error means the file
+// is unusable as a whole; the caller counts and removes it.
+func (cs *cacheStore) openView(path, key string) (*pta.MatrixSnapshot, *slabView, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size < spillPreamble+4 || size > cs.maxBytes {
+		f.Close()
+		return nil, nil, fmt.Errorf("spill: implausible file size %d", size)
+	}
+	pre := make([]byte, spillPreamble)
+	if _, err := f.ReadAt(pre, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("spill: reading preamble: %w", err)
+	}
+	hl := int64(binary.LittleEndian.Uint32(pre[8:]))
+	if hl < spillPreamble+4 || hl > size {
+		f.Close()
+		return nil, nil, fmt.Errorf("spill: implausible header length %d", hl)
+	}
+	header := make([]byte, hl)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("spill: reading header: %w", err)
+	}
+	snap, err := parseSpillHeader(header, key)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if want := hl + int64(snap.Filled)*int64(spillRowSize(snap.N)); want != size {
+		f.Close()
+		return nil, nil, fmt.Errorf("spill: file size %d, want %d for n=%d filled=%d", size, want, snap.N, snap.Filled)
+	}
+	return snap, newSlabView(f, int(size), int(hl), snap.N, snap.Filled), nil
 }
 
 // spillStats is the /v1/stats snapshot of the persistent tier.
@@ -126,19 +259,26 @@ func (cs *cacheStore) stats() spillStats {
 	return spillStats{Loads: cs.loads.Load(), Stores: cs.stores.Load(), Errors: cs.errors.Load()}
 }
 
-// encodeSnapshot renders the versioned binary spill format: magic, version,
-// the full cache key (verified on load so a hash-collision file can never
-// serve the wrong series), the snapshot fields in fixed little-endian
-// layout, and a trailing CRC32 over everything before it.
+// encodeSnapshot renders the versioned binary spill format, v2: an eagerly
+// validated header — magic, version, total header length, the full cache
+// key (verified on load so a hash-collision file can never serve the wrong
+// series), the scalar snapshot fields and the per-row errors and resume row
+// in fixed little-endian layout, sealed by a CRC32 — followed by one
+// section per split row, each sealed by its own CRC32 so a lazy view can
+// validate exactly the rows it materializes. The encoding is deterministic:
+// equal snapshots produce byte-identical blobs, which is what makes spill
+// files content-addressed peer resources.
 func encodeSnapshot(key string, snap *pta.MatrixSnapshot) []byte {
-	size := 4 + 4 + // magic, version
+	cols := snap.N + 1
+	headerLen := spillPreamble +
 		4 + len(key) + 4 + len(snap.Strategy) + 4 + len(snap.Class) +
 		8 + 8 + 1 + 8 + // n, filled, hasMax, bound
-		8*len(snap.RowErr) + 8*len(snap.LastE) + 4*len(snap.Splits) +
-		4 // crc
-	b := make([]byte, 0, size)
+		8*len(snap.RowErr) + 8*len(snap.LastE) +
+		4 // header crc
+	b := make([]byte, 0, headerLen+snap.Filled*spillRowSize(snap.N))
 	b = append(b, spillMagic...)
 	b = binary.LittleEndian.AppendUint32(b, spillVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(headerLen))
 	b = appendSpillString(b, key)
 	b = appendSpillString(b, snap.Strategy)
 	b = appendSpillString(b, snap.Class)
@@ -156,10 +296,15 @@ func encodeSnapshot(key string, snap *pta.MatrixSnapshot) []byte {
 	for _, v := range snap.LastE {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
-	for _, v := range snap.Splits {
-		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	for k := 0; k < snap.Filled; k++ {
+		start := len(b)
+		for _, v := range snap.Splits[k*cols : (k+1)*cols] {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+		b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
 	}
-	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b
 }
 
 func appendSpillString(b []byte, s string) []byte {
@@ -167,24 +312,28 @@ func appendSpillString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// decodeSnapshot parses and fully validates one spill file for key. Deep
-// semantic validation (split ranges, class match) happens again in
-// RestoreMatrixSet; this layer guards framing: magic, version, key
-// equality, declared lengths against the actual payload, and the CRC.
-func decodeSnapshot(data []byte, key string) (*pta.MatrixSnapshot, error) {
-	if len(data) < 4+4+4 {
-		return nil, fmt.Errorf("spill: short file (%d bytes)", len(data))
+// parseSpillHeader validates one header section (header[0:headerLen]) for
+// key and returns the snapshot with Splits nil. It guards framing: magic,
+// version, key equality, declared lengths against the actual payload, and
+// the header CRC; split rows are validated separately (eagerly by
+// decodeSnapshot, lazily by slabView).
+func parseSpillHeader(header []byte, key string) (*pta.MatrixSnapshot, error) {
+	if len(header) < spillPreamble+4 {
+		return nil, fmt.Errorf("spill: short header (%d bytes)", len(header))
 	}
-	crcAt := len(data) - 4
-	if got, want := crc32.ChecksumIEEE(data[:crcAt]), binary.LittleEndian.Uint32(data[crcAt:]); got != want {
-		return nil, fmt.Errorf("spill: CRC mismatch")
+	crcAt := len(header) - 4
+	if got, want := crc32.ChecksumIEEE(header[:crcAt]), binary.LittleEndian.Uint32(header[crcAt:]); got != want {
+		return nil, fmt.Errorf("spill: header CRC mismatch")
 	}
-	d := spillReader{data: data[:crcAt]}
+	d := spillReader{data: header[:crcAt]}
 	if string(d.bytes(4)) != spillMagic {
 		return nil, fmt.Errorf("spill: bad magic")
 	}
 	if v := d.u32(); v != spillVersion {
 		return nil, fmt.Errorf("spill: version %d, want %d", v, spillVersion)
+	}
+	if hl := d.u32(); int(hl) != len(header) {
+		return nil, fmt.Errorf("spill: header length %d, have %d bytes", hl, len(header))
 	}
 	if k := d.str(); k != key {
 		return nil, fmt.Errorf("spill: key mismatch")
@@ -194,8 +343,9 @@ func decodeSnapshot(data []byte, key string) (*pta.MatrixSnapshot, error) {
 	filled := d.u64()
 	hasMax := d.bytes(1)
 	bound := d.u64()
-	// Bound the declared shape by the remaining payload before allocating.
-	if d.err != nil || n > uint64(len(data)) || filled > n {
+	// Bound the declared shape by the remaining payload before allocating:
+	// the header carries filled row errors and n+1 resume cells itself.
+	if d.err != nil || filled > n || n > uint64(len(header)) {
 		return nil, fmt.Errorf("spill: implausible shape n=%d filled=%d", n, filled)
 	}
 	snap.N, snap.Filled = int(n), int(filled)
@@ -203,12 +353,48 @@ func decodeSnapshot(data []byte, key string) (*pta.MatrixSnapshot, error) {
 	snap.Bound = math.Float64frombits(bound)
 	snap.RowErr = d.f64s(snap.Filled)
 	snap.LastE = d.f64s(snap.N + 1)
-	snap.Splits = d.i32s(snap.Filled * (snap.N + 1))
 	if d.err != nil {
 		return nil, d.err
 	}
 	if len(d.data) != d.off {
-		return nil, fmt.Errorf("spill: %d trailing bytes", len(d.data)-d.off)
+		return nil, fmt.Errorf("spill: %d trailing header bytes", len(d.data)-d.off)
+	}
+	return snap, nil
+}
+
+// decodeSnapshot parses and fully validates one spill blob for key — the
+// header plus every row CRC — materializing the split rows eagerly. It is
+// the validation gate for peer-fetched blobs (and the memory-only restore
+// path when no spill dir is configured); local disk loads go through
+// openView instead and leave rows lazy.
+func decodeSnapshot(data []byte, key string) (*pta.MatrixSnapshot, error) {
+	if len(data) < spillPreamble+4 {
+		return nil, fmt.Errorf("spill: short file (%d bytes)", len(data))
+	}
+	hl := int(binary.LittleEndian.Uint32(data[8:spillPreamble]))
+	if hl < spillPreamble+4 || hl > len(data) {
+		return nil, fmt.Errorf("spill: implausible header length %d", hl)
+	}
+	snap, err := parseSpillHeader(data[:hl], key)
+	if err != nil {
+		return nil, err
+	}
+	cols := snap.N + 1
+	rowSize := spillRowSize(snap.N)
+	if want := hl + snap.Filled*rowSize; want != len(data) {
+		return nil, fmt.Errorf("spill: %d bytes, want %d for n=%d filled=%d", len(data), want, snap.N, snap.Filled)
+	}
+	snap.Splits = make([]int32, snap.Filled*cols)
+	for k := 0; k < snap.Filled; k++ {
+		row := data[hl+k*rowSize : hl+(k+1)*rowSize]
+		body := row[:len(row)-4]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(row[len(row)-4:]) {
+			return nil, fmt.Errorf("spill: row %d CRC mismatch", k+1)
+		}
+		out := snap.Splits[k*cols : (k+1)*cols]
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		}
 	}
 	return snap, nil
 }
@@ -267,18 +453,6 @@ func (d *spillReader) f64s(n int) []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return out
-}
-
-func (d *spillReader) i32s(n int) []int32 {
-	b := d.bytes(4 * n)
-	if b == nil {
-		return nil
-	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
 	}
 	return out
 }

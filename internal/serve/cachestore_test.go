@@ -134,10 +134,11 @@ func TestSpillCorruptionFallsBackCold(t *testing.T) {
 		return b
 	})
 	corrupt("stale version", func(b []byte) []byte {
-		// Patch the version field and re-seal the CRC so only the version
-		// check can reject it.
+		// Patch the version field and re-seal the header CRC so only the
+		// version check can reject it.
+		hl := binary.LittleEndian.Uint32(b[8:])
 		binary.LittleEndian.PutUint32(b[4:], spillVersion+7)
-		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+		binary.LittleEndian.PutUint32(b[hl-4:], crc32.ChecksumIEEE(b[:hl-4]))
 		return b
 	})
 	corrupt("truncated", func(b []byte) []byte {
@@ -163,9 +164,10 @@ func TestSpillDecodeRejections(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Recover the key: it is length-prefixed right after magic+version.
-	keyLen := binary.LittleEndian.Uint32(data[8:])
-	key := string(data[12 : 12+keyLen])
+	// Recover the key: it is length-prefixed right after the preamble
+	// (magic, version, header length).
+	keyLen := binary.LittleEndian.Uint32(data[spillPreamble:])
+	key := string(data[spillPreamble+4 : spillPreamble+4+int(keyLen)])
 
 	snap, err := decodeSnapshot(data, key)
 	if err != nil {
@@ -190,8 +192,15 @@ func TestSpillDecodeRejections(t *testing.T) {
 	}
 	bad := append([]byte(nil), data...)
 	copy(bad, "XXXX")
-	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	hl := binary.LittleEndian.Uint32(bad[8:])
+	binary.LittleEndian.PutUint32(bad[hl-4:], crc32.ChecksumIEEE(bad[:hl-4]))
 	if _, err := decodeSnapshot(bad, key); err == nil {
 		t.Error("decoder accepted a bad magic")
+	}
+	// A flipped row byte with an intact header is caught per-row.
+	rowbad := append([]byte(nil), data...)
+	rowbad[len(rowbad)-6] ^= 0xFF
+	if _, err := decodeSnapshot(rowbad, key); err == nil {
+		t.Error("decoder accepted a corrupt split row")
 	}
 }

@@ -79,10 +79,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"strategies":    s.nStrategies.Load(),
 			"stats":         s.nStats.Load(),
 			"healthz":       s.nHealth.Load(),
+			"matrix":        s.nMatrix.Load(),
 		},
-		"compressions": s.compressions.Load(),
-		"inflight":     len(s.inflight),
-		"cache":        s.cache.stats(),
+		"compressions":    s.compressions.Load(),
+		"dp_cells_filled": s.metrics.dpCells.Value(),
+		"inflight":        len(s.inflight),
+		"cache":           s.cache.stats(),
+		"peer":            s.peers.stats(),
 		"admission": map[string]any{
 			"max_cells": s.cfg.AdmissionMaxCells,
 			"policy":    cmp.Or(s.cfg.AdmissionPolicy, AdmissionReject),
@@ -98,6 +101,73 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body["spill"] = s.store.stats()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleMatrix serves one content-addressed spill blob to a peer worker:
+// the local spill file verbatim when present, otherwise the resident
+// in-memory set encoded on the fly. The in-memory path takes the entry
+// semaphore — a fetch that lands while this worker is still filling the
+// key waits for the fill instead of forcing the requester to duplicate it,
+// which is what makes "exactly one cold fill tier-wide" hold under races.
+// The requester validates everything (key, CRCs); serving is unauthenticated
+// reads of content-addressed bytes.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	s.nMatrix.Add(1)
+	hash := r.PathValue("hash")
+	if len(hash) != 32 || !isHex(hash) {
+		s.peers.serveMisses.Add(1)
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": errorWire{
+			Status: http.StatusNotFound, Code: "matrix_not_found", Message: "not a spill content address"}})
+		return
+	}
+	if s.store != nil {
+		if data := s.store.readBlob(hash); data != nil {
+			s.writeMatrixBlob(w, data)
+			return
+		}
+	}
+	if e := s.cache.lookupByHash(hash); e != nil {
+		select {
+		case e.sem <- struct{}{}:
+		case <-r.Context().Done():
+			s.peers.serveMisses.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": errorWire{
+				Status: http.StatusServiceUnavailable, Code: "matrix_busy", Message: "fill in flight"}})
+			return
+		}
+		var data []byte
+		if e.set != nil {
+			if snap, err := e.set.Snapshot(); err == nil && snap.Filled > 0 {
+				data = encodeSnapshot(e.key, snap)
+			}
+		}
+		<-e.sem
+		if data != nil {
+			s.writeMatrixBlob(w, data)
+			return
+		}
+	}
+	s.peers.serveMisses.Add(1)
+	writeJSON(w, http.StatusNotFound, map[string]any{"error": errorWire{
+		Status: http.StatusNotFound, Code: "matrix_not_found", Message: "no warm matrices for this address"}})
+}
+
+func (s *Server) writeMatrixBlob(w http.ResponseWriter, data []byte) {
+	s.peers.serveHits.Add(1)
+	s.peers.serveBytes.Add(int64(len(data)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
@@ -323,11 +393,6 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 		return res, cacheBypass, err
 	}
 
-	entry, hit := s.cache.acquire(key)
-	disposition := cacheMiss
-	if hit {
-		disposition = cacheHit
-	}
 	opts := pta.Options{Weights: s.effectiveWeights(pw), FillAlgo: fill}
 	// Cold builds observe the kernel's certified monotone coverage; every
 	// answered budget counts against the set's resolved fill algorithm
@@ -341,41 +406,49 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 	}
 	var res *pta.Result
 	var err error
-	if s.store == nil {
-		start := time.Now()
-		res, err = entry.compress(ctx, s.cache, build,
-			func(set *pta.MatrixSet) (*pta.Result, error) {
-				res, err := set.Compress(ctx, plan.Budget)
-				if err == nil {
-					s.metrics.fillServed(set.FillAlgo())
-				}
-				return res, err
-			})
-		if err == nil && !hit {
-			s.metrics.fillSeconds.Observe(time.Since(start).Seconds())
+	var disposition string
+	for attempt := 0; ; attempt++ {
+		entry, hit := s.cache.acquire(key)
+		disposition = cacheMiss
+		if hit {
+			disposition = cacheHit
 		}
-	} else {
-		fromSpill := false
+		// On an in-memory miss the build walks the warm-tier lookup order —
+		// local spill, then peers in rendezvous order — before paying the
+		// cold DP fill. Spill and peer restores answer with a backtrack, no
+		// fill; the client sees them as cache hits.
+		cold := false
 		start := time.Now()
 		res, err = entry.compress(ctx, s.cache,
 			func() (*pta.MatrixSet, error) {
-				// An in-memory miss consults the persistent tier first: a
-				// spill hit restores the warm matrices and the budget
-				// answers with a backtrack, no fill — the client sees it as
-				// a cache hit.
-				if set := s.store.load(key, series, pw.Strategy, opts); set != nil {
-					fromSpill = true
-					entry.spilled.Store(int64(set.Rows())) // disk already has these rows
-					return set, nil
+				if s.store != nil {
+					if set := s.store.load(key, series, pw.Strategy, opts); set != nil {
+						entry.spilled.Store(int64(set.Rows())) // disk already has these rows
+						return set, nil
+					}
 				}
+				if s.peers.active() {
+					if set := s.peerWarm(ctx, entry, key, series, pw.Strategy, opts); set != nil {
+						return set, nil
+					}
+				}
+				cold = true
 				return build()
 			},
 			func(set *pta.MatrixSet) (*pta.Result, error) {
 				res, err := set.Compress(ctx, plan.Budget)
+				if err != nil {
+					return res, err
+				}
+				s.metrics.fillServed(set.FillAlgo())
+				// The set's Stats.Cells is cumulative; the delta since this
+				// entry's last evaluation is this worker's own fill work.
+				if delta := res.Stats.Cells - entry.cells.Swap(res.Stats.Cells); delta > 0 {
+					s.metrics.dpCells.Add(uint64(delta))
+				}
 				// Spill under the entry semaphore whenever this evaluation
 				// deepened the matrices past what is already on disk.
-				if err == nil {
-					s.metrics.fillServed(set.FillAlgo())
+				if s.store != nil {
 					if rows := int64(set.Rows()); rows > entry.spilled.Load() && s.store.store(key, set) {
 						entry.spilled.Store(rows)
 					}
@@ -383,20 +456,55 @@ func (s *Server) compressOne(ctx context.Context, series *pta.Series, fingerprin
 				return res, err
 			})
 		if err == nil {
-			if fromSpill {
-				disposition = cacheHit
-			} else if !hit {
+			if !hit && !cold {
+				disposition = cacheHit // warmed from spill or a peer
+			} else if cold {
 				s.metrics.fillSeconds.Observe(time.Since(start).Seconds())
 			}
+			break
 		}
-	}
-	if err != nil {
+		// A lazily restored set whose backing spill file went bad mid-life
+		// (row CRC mismatch, truncation under the mapping) surfaces as a
+		// WarmLostError. Unmap-and-remove the file, drop the poisoned
+		// entry, and rebuild cold — once.
+		var lost *pta.WarmLostError
+		if attempt == 0 && errors.As(err, &lost) {
+			s.cache.discard(entry)
+			if s.store != nil {
+				s.store.discardCorrupt(key)
+			}
+			continue
+		}
 		return nil, disposition, err
 	}
 	// Stamp the requested strategy: a ptac entry may serve a ptae plan of
 	// the same class.
 	res.Strategy = pw.Strategy
 	return res, disposition, nil
+}
+
+// peerWarm tries to warm one entry from the peer tier: fetch the blob
+// (already fully validated by the tier), write it through the local spill
+// so the warmth survives this worker's own restarts, and restore — lazily
+// via the freshly adopted spill file when the write-through landed, eagerly
+// from the decoded snapshot otherwise (including the spill-less
+// configuration). nil means no peer had the key; the caller fills cold.
+func (s *Server) peerWarm(ctx context.Context, entry *cacheEntry, key string, series *pta.Series, strategy string, opts pta.Options) *pta.MatrixSet {
+	data, snap := s.peers.fetch(ctx, entry.hash, key)
+	if snap == nil {
+		return nil
+	}
+	if s.store != nil && s.store.adopt(key, data) {
+		entry.spilled.Store(int64(snap.Filled))
+		if set := s.store.load(key, series, strategy, opts); set != nil {
+			return set
+		}
+	}
+	set, err := pta.RestoreMatrixSet(series, strategy, opts, snap)
+	if err != nil {
+		return nil
+	}
+	return set
 }
 
 // badRequestError marks client-side validation failures for statusFor.

@@ -28,6 +28,12 @@ type serverMetrics struct {
 	admissionQueued   *obs.Counter
 	fillSeconds       *obs.Histogram
 
+	// dpCells counts DP matrix cells this worker filled itself (cold fills
+	// and deepens through the matrix cache). A worker serving entirely from
+	// the warm tier — spill or peers — holds this at zero, which is what
+	// the wipe-and-restart tests assert.
+	dpCells *obs.Counter
+
 	// ptafill_* family: which kernel row-fill path production traffic
 	// takes. fillRequests children are pre-resolved per concrete algorithm
 	// (the resolved choice, never "auto"); fillCoverage observes each cold
@@ -63,7 +69,7 @@ func (em *endpointMetrics) done(status int, d time.Duration) {
 
 // endpointNames is the fixed catalog instrumented by New; the middleware
 // only ever sees these, so the label set is bounded.
-var endpointNames = []string{"compress", "compress_many", "strategies", "stats", "healthz", "metrics"}
+var endpointNames = []string{"compress", "compress_many", "strategies", "stats", "healthz", "metrics", "matrix"}
 
 // newServerMetrics builds the registry and wires the scrape-time gauges to
 // the server's live state (in-flight pool, cache footprint, uptime). It
@@ -87,6 +93,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Over-budget requests serialized through the oversized slot (AdmissionPolicy queue)."),
 		fillSeconds: reg.NewHistogram("ptaserve_cache_fill_seconds",
 			"Latency of cold matrix-set builds (the first fill of a cache entry).", nil),
+		dpCells: reg.NewCounter("ptaserve_dp_cells_filled_total",
+			"DP matrix cells filled by this worker's own evaluations (cold fills and deepens); stays zero while serving entirely from the warm tier."),
 		fillRequests: make(map[string]*obs.Counter),
 		fillCoverage: reg.NewHistogram("ptafill_monotone_coverage",
 			"Certified monotone dispatch coverage of each cold matrix-set build (0 = oscillating noise, 1 = counter-like).",
@@ -157,6 +165,33 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.NewCounterFunc("ptaserve_spill_errors_total",
 		"Spill files rejected (corrupt, stale version, shape mismatch) or failed writes.",
 		spill(func(cs *cacheStore) int64 { return cs.errors.Load() }))
+
+	// Peer warm-tier counters read the tier's atomics at scrape time (all
+	// zero until peers are configured), mirroring the /v1/stats peer block.
+	reg.NewGaugeFunc("ptapeer_peers",
+		"Sibling workers currently configured for peer matrix fetching.",
+		func() float64 { return float64(s.peers.count()) })
+	reg.NewCounterFunc("ptapeer_fetch_hits_total",
+		"Warm matrix blobs fetched and fully validated from a peer on a local miss.",
+		func() float64 { return float64(s.peers.fetchHits.Load()) })
+	reg.NewCounterFunc("ptapeer_fetch_misses_total",
+		"Local misses no configured peer could serve (the request fell through to a cold fill).",
+		func() float64 { return float64(s.peers.fetchMisses.Load()) })
+	reg.NewCounterFunc("ptapeer_fetch_errors_total",
+		"Per-peer fetch failures: transport errors, non-200/404 statuses, oversized or invalid blobs.",
+		func() float64 { return float64(s.peers.fetchErrors.Load()) })
+	reg.NewCounterFunc("ptapeer_fetch_bytes_total",
+		"Bytes of validated matrix blobs fetched from peers.",
+		func() float64 { return float64(s.peers.fetchBytes.Load()) })
+	reg.NewCounterFunc("ptapeer_serve_hits_total",
+		"GET /v1/matrix requests answered with a blob (from the spill file or the resident set).",
+		func() float64 { return float64(s.peers.serveHits.Load()) })
+	reg.NewCounterFunc("ptapeer_serve_misses_total",
+		"GET /v1/matrix requests for addresses this worker holds nothing for.",
+		func() float64 { return float64(s.peers.serveMisses.Load()) })
+	reg.NewCounterFunc("ptapeer_serve_bytes_total",
+		"Bytes of matrix blobs served to peers.",
+		func() float64 { return float64(s.peers.serveBytes.Load()) })
 
 	reg.RegisterRuntimeMetrics()
 	return m

@@ -93,6 +93,15 @@ func TestMetricsEndpointLintsAndAgreesWithStats(t *testing.T) {
 		"ptaserve_cache_entries",
 		"ptaserve_cache_fill_seconds_bucket",
 		"ptaserve_spill_loads_total",
+		"ptaserve_dp_cells_filled_total",
+		"ptapeer_peers",
+		"ptapeer_fetch_hits_total",
+		"ptapeer_fetch_misses_total",
+		"ptapeer_fetch_errors_total",
+		"ptapeer_fetch_bytes_total",
+		"ptapeer_serve_hits_total",
+		"ptapeer_serve_misses_total",
+		"ptapeer_serve_bytes_total",
 		"ptafill_requests_total",
 		"ptafill_monotone_coverage_bucket",
 		"go_goroutines",
@@ -273,6 +282,8 @@ func TestConfigValidationMessages(t *testing.T) {
 		{"MaxInflight", Config{MaxInflight: -1}, "want >= 0 (0 = default 2×GOMAXPROCS)"},
 		{"DrainTimeout", Config{DrainTimeout: -time.Second}, "want >= 0 (0 = default 10s)"},
 		{"SpillMaxBytes", Config{SpillMaxBytes: -1}, "want >= 0 (0 = default 64 MiB)"},
+		{"PeerTimeout", Config{PeerTimeout: -time.Second}, "want >= 0 (0 = default 5s)"},
+		{"Peers", Config{Peers: []string{"not-a-url"}}, "want an absolute http(s) URL"},
 		{"AdmissionMaxCells", Config{AdmissionMaxCells: -1}, "want >= 0 (0 = unlimited)"},
 		{"AdmissionPolicy", Config{AdmissionPolicy: "drop"}, `want "reject" or "queue"`},
 	}

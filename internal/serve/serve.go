@@ -44,6 +44,17 @@ type Config struct {
 	// SpillMaxBytes bounds one spill file (0 = 64 MiB); larger snapshots
 	// stay memory-only.
 	SpillMaxBytes int64
+	// Peers lists the base URLs of sibling workers forming a shared warm
+	// tier: on a local miss (memory and spill both cold) the server fetches
+	// the content-addressed spill blob from peers in rendezvous order over
+	// GET /v1/matrix/{hash} before paying the DP fill. Empty = no peer
+	// fetching. SetPeers changes the list at runtime.
+	Peers []string
+	// PeerTimeout bounds one peer fetch attempt (0 = 5s). A peer blocked on
+	// an in-flight fill of the requested key holds the request until the
+	// fill lands, so this also bounds how long a miss waits for a sibling's
+	// fill instead of duplicating it.
+	PeerTimeout time.Duration
 	// AdmissionMaxCells bounds the estimated worst-case DP cost, in matrix
 	// cells (≈ n·c for a size budget, n² for an error budget), one request
 	// may demand (0 = unlimited). Over-budget requests get 429 with
@@ -73,6 +84,7 @@ type Server struct {
 	defaultWeights []float64 // the engine's WithWeights vector, folded into cache keys
 	cache          *matrixCache
 	store          *cacheStore // nil unless SpillDir is set
+	peers          *peerTier   // always non-nil; inert until peers configured
 	metrics        *serverMetrics
 	mux            *http.ServeMux
 	log            *log.Logger
@@ -82,8 +94,8 @@ type Server struct {
 	oversized chan struct{} // the single queue-policy slot; see admission.go
 
 	// request counters by endpoint, surfaced on /v1/stats
-	nCompress, nCompressMany, nStrategies, nStats, nHealth atomic.Int64
-	compressions                                           atomic.Int64
+	nCompress, nCompressMany, nStrategies, nStats, nHealth, nMatrix atomic.Int64
+	compressions                                                    atomic.Int64
 }
 
 // New validates the config and builds a ready-to-mount server.
@@ -128,6 +140,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SpillMaxBytes < 0 {
 		return nil, fmt.Errorf("serve: SpillMaxBytes %d, want >= 0 (0 = default 64 MiB)", cfg.SpillMaxBytes)
 	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = 5 * time.Second
+	}
+	if cfg.PeerTimeout < 0 {
+		return nil, fmt.Errorf("serve: PeerTimeout %v, want >= 0 (0 = default 5s)", cfg.PeerTimeout)
+	}
+	if err := validatePeers(cfg.Peers); err != nil {
+		return nil, err
+	}
 	if cfg.AdmissionMaxCells < 0 {
 		return nil, fmt.Errorf("serve: AdmissionMaxCells %d, want >= 0 (0 = unlimited)", cfg.AdmissionMaxCells)
 	}
@@ -156,6 +177,12 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = store
 	}
+	maxBlob := cfg.SpillMaxBytes
+	if maxBlob == 0 {
+		maxBlob = 64 << 20
+	}
+	s.peers = newPeerTier(cfg.PeerTimeout, maxBlob)
+	s.peers.set(cfg.Peers)
 	s.metrics = newServerMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
@@ -164,7 +191,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("POST /v1/compress", s.instrument("compress", s.handleCompress))
 	s.mux.HandleFunc("POST /v1/compress/many", s.instrument("compress_many", s.handleCompressMany))
+	s.mux.HandleFunc("GET /v1/matrix/{hash}", s.instrument("matrix", s.handleMatrix))
 	return s, nil
+}
+
+// SetPeers replaces the peer list at runtime (validated like Config.Peers).
+// Safe for concurrent use with request serving; in-flight fetches finish
+// against the old list.
+func (s *Server) SetPeers(peers []string) error {
+	if err := validatePeers(peers); err != nil {
+		return err
+	}
+	s.peers.set(peers)
+	return nil
 }
 
 // Handler returns the route tree, for mounting under an outer mux or an

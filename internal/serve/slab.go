@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// slabView is the lazy row source behind a spill-restored MatrixSet: the
+// whole file is mmap'd read-only (falling back to pread where mmap is
+// unavailable) and each split row is copied out, CRC-checked and decoded on
+// the first reconstruction that touches it. A huge warm set therefore costs
+// page faults proportional to the rows budgets actually walk, not bytes on
+// disk. The solver retains every materialized row, so each row is read at
+// most once per restored set.
+//
+// Lifecycle: a view stays valid as long as its inode does — a deepened
+// re-spill renames a new file over the path, the old mapping keeps serving
+// the old (still-correct) rows, and the GC cleanup unmaps it when the set
+// is collected. invalidate is the explicit early exit used by the
+// unmap-before-delete path: after it, SplitRow fails cleanly and the
+// mapping is gone, so unlinking the file can never strand a reader on
+// freed pages. A file truncated in place underneath the mapping (outside
+// the store's own discipline) raises SIGBUS on touch; SplitRow converts
+// that into an error via debug.SetPanicOnFault rather than crashing the
+// process.
+type slabView struct {
+	mu      sync.Mutex
+	data    []byte   // mmap'd whole file; nil on the pread fallback
+	f       *os.File // pread fallback handle; nil when mapped
+	clean   runtime.Cleanup
+	rowsOff int
+	n       int
+	filled  int
+	gone    bool
+}
+
+// newSlabView wraps an open, header-validated spill file. It takes
+// ownership of f: mapped views close the descriptor immediately (the
+// mapping survives it), fallback views keep it for ReadAt and close it on
+// invalidate or GC.
+func newSlabView(f *os.File, size, rowsOff, n, filled int) *slabView {
+	v := &slabView{rowsOff: rowsOff, n: n, filled: filled}
+	if data, ok := mapSpill(f, size); ok {
+		v.data = data
+		f.Close()
+		v.clean = runtime.AddCleanup(v, unmapSpill, data)
+	} else {
+		v.f = f
+		v.clean = runtime.AddCleanup(v, func(f *os.File) { f.Close() }, f)
+	}
+	return v
+}
+
+// SplitRow implements pta.SplitRowSource over the mapped row region.
+func (v *slabView) SplitRow(k int) ([]int32, error) {
+	rowSize := spillRowSize(v.n)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.gone {
+		return nil, fmt.Errorf("spill: view invalidated (file removed)")
+	}
+	if k < 1 || k > v.filled {
+		return nil, fmt.Errorf("spill: row %d outside 1..%d", k, v.filled)
+	}
+	off := v.rowsOff + (k-1)*rowSize
+	buf := make([]byte, rowSize)
+	if v.data != nil {
+		if !safeCopy(buf, v.data[off:off+rowSize]) {
+			return nil, fmt.Errorf("spill: mapping faulted reading row %d (file truncated?)", k)
+		}
+	} else if _, err := v.f.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("spill: reading row %d: %w", k, err)
+	}
+	body := buf[:rowSize-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[rowSize-4:]) {
+		return nil, fmt.Errorf("spill: row %d CRC mismatch", k)
+	}
+	row := make([]int32, v.n+1)
+	for i := range row {
+		row[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return row, nil
+}
+
+// invalidate tears the view down now: stop the GC cleanup, unmap/close, and
+// fail every later SplitRow. Idempotent; serialized with in-flight reads by
+// the view mutex, so no reader ever touches the mapping after it is gone.
+func (v *slabView) invalidate() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.gone {
+		return
+	}
+	v.gone = true
+	v.clean.Stop()
+	if v.data != nil {
+		unmapSpill(v.data)
+		v.data = nil
+	}
+	if v.f != nil {
+		v.f.Close()
+		v.f = nil
+	}
+}
+
+// safeCopy copies out of an mmap'd region, converting the SIGBUS a
+// truncated-in-place mapping raises into a clean false: SetPanicOnFault
+// turns the fault into a recoverable panic on this goroutine only.
+func safeCopy(dst, src []byte) (ok bool) {
+	old := debug.SetPanicOnFault(true)
+	defer debug.SetPanicOnFault(old)
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	copy(dst, src)
+	return true
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// mapSpill always declines off unix; slabView serves rows via pread.
+func mapSpill(*os.File, int) ([]byte, bool) { return nil, false }
+
+func unmapSpill([]byte) {}

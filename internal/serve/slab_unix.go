@@ -1,0 +1,21 @@
+//go:build unix
+
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapSpill maps one spill file read-only. A failed mmap (exotic
+// filesystems, resource limits) is not an error — the caller keeps the
+// descriptor and falls back to pread.
+func mapSpill(f *os.File, size int) ([]byte, bool) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func unmapSpill(data []byte) { _ = syscall.Munmap(data) }

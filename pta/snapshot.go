@@ -31,9 +31,15 @@ type MatrixSnapshot struct {
 }
 
 // Snapshot copies the set's warm rows. A set that has answered no budget
-// yet returns Filled == 0 (nothing worth persisting).
-func (m *MatrixSet) Snapshot() *MatrixSnapshot {
-	st := m.sv.State()
+// yet returns Filled == 0 (nothing worth persisting). A lazily restored set
+// (RestoreMatrixSetLazy) materializes every outstanding row first; if its
+// backing store has gone bad the WarmLostError surfaces here instead of a
+// torn snapshot.
+func (m *MatrixSet) Snapshot() (*MatrixSnapshot, error) {
+	st, err := m.sv.State()
+	if err != nil {
+		return nil, err
+	}
 	return &MatrixSnapshot{
 		Strategy: m.strategy,
 		Class:    m.class,
@@ -44,7 +50,7 @@ func (m *MatrixSet) Snapshot() *MatrixSnapshot {
 		Splits:   st.Splits,
 		Bound:    st.Bound,
 		HasMax:   st.HasMax,
-	}
+	}, nil
 }
 
 // RestoreMatrixSet rebuilds a warm MatrixSet from a snapshot: it constructs
@@ -79,6 +85,52 @@ func RestoreMatrixSet(s *Series, strategy string, opts Options, snap *MatrixSnap
 		Bound:  snap.Bound,
 		HasMax: snap.HasMax,
 	}); err != nil {
+		return nil, fmt.Errorf("pta: %w", err)
+	}
+	return m, nil
+}
+
+// SplitRowSource supplies restored split-point rows on demand for
+// RestoreMatrixSetLazy; see core.SplitRowSource. Implementations live in the
+// persistence layer (internal/serve's mmap-backed spill view).
+type SplitRowSource = core.SplitRowSource
+
+// WarmLostError is the typed error a lazily restored set surfaces when its
+// backing row source fails after restore (truncated, corrupted or unmapped
+// spill file). It travels through MatrixSet.Compress wrapped, so callers
+// detect it with errors.As and rebuild cold.
+type WarmLostError = core.WarmLostError
+
+// RestoreMatrixSetLazy is RestoreMatrixSet with the split-point rows left
+// behind a SplitRowSource: snap.Splits is ignored (may be nil) and each J
+// row is read from src on the first reconstruction that touches it. The
+// scalar state (RowErr, LastE, Bound) still restores eagerly, so budget
+// searches and deeper fills run without touching src at all; only answering
+// a budget pays for exactly the rows its backtrack walks. If src fails later
+// the evaluation returns a WarmLostError and the set must be discarded.
+func RestoreMatrixSetLazy(s *Series, strategy string, opts Options, snap *MatrixSnapshot, src SplitRowSource) (*MatrixSet, error) {
+	if snap == nil || snap.Filled == 0 {
+		return nil, fmt.Errorf("pta: empty matrix snapshot")
+	}
+	class, ok := DPClassWith(strategy, opts.FillAlgo)
+	if !ok {
+		return nil, fmt.Errorf("pta: strategy %q is not an exact DP: nothing to restore", strategy)
+	}
+	if class != snap.Class {
+		return nil, fmt.Errorf("pta: snapshot class %q does not match %q for %s", snap.Class, class, strategy)
+	}
+	m, err := NewMatrixSet(s, strategy, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.sv.RestoreLazy(&core.SolverState{
+		N:      snap.N,
+		Filled: snap.Filled,
+		RowErr: snap.RowErr,
+		LastE:  snap.LastE,
+		Bound:  snap.Bound,
+		HasMax: snap.HasMax,
+	}, src); err != nil {
 		return nil, fmt.Errorf("pta: %w", err)
 	}
 	return m, nil

@@ -2,6 +2,7 @@ package pta_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -24,7 +25,10 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snap := warm.Snapshot()
+	snap, err := warm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if snap.Filled != warm.Rows() || snap.N != seq.Len() || snap.Class != warm.Class() {
 		t.Fatalf("snapshot shape: %+v vs rows=%d", snap, warm.Rows())
 	}
@@ -83,6 +87,106 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// memRowSource is a SplitRowSource over an in-memory snapshot, with
+// per-row failure injection and read accounting.
+type memRowSource struct {
+	n      int
+	splits []int32 // row-major, rows 1..filled
+	failAt int     // SplitRow(failAt) errors; 0 = never
+	reads  map[int]int
+}
+
+func (m *memRowSource) SplitRow(k int) ([]int32, error) {
+	if m.reads == nil {
+		m.reads = make(map[int]int)
+	}
+	m.reads[k]++
+	if k == m.failAt {
+		return nil, errRowGone
+	}
+	row := m.splits[(k-1)*(m.n+1) : k*(m.n+1)]
+	return append([]int32(nil), row...), nil
+}
+
+var errRowGone = pta.ErrCanceled // any sentinel; identity checked via WarmLostError
+
+// TestSnapshotRestoreLazy: a lazily restored set answers budgets bitwise
+// identically with zero fill work, reads each row at most once, resumes
+// deeper fills, and surfaces WarmLostError when the source fails mid-life.
+func TestSnapshotRestoreLazy(t *testing.T) {
+	seq := grouped(t)
+	ctx := context.Background()
+	warm, err := pta.NewMatrixSet(seq, "ptac", pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := pta.Size(seq.Len() / 4)
+	want, err := warm.Compress(ctx, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := warm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := &memRowSource{n: snap.N, splits: snap.Splits}
+	hollow := *snap
+	hollow.Splits = nil
+	lazy, err := pta.RestoreMatrixSetLazy(seq, "ptac", pta.Options{}, &hollow, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lazy.Compress(ctx, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.C != want.C || got.Error != want.Error || !got.Series.Equal(want.Series, 0) {
+		t.Errorf("lazy answer (C=%d, E=%g) != original (C=%d, E=%g)", got.C, got.Error, want.C, want.Error)
+	}
+	if got.Stats.Cells != 0 {
+		t.Errorf("lazy set filled %d cells on a warm budget, want 0", got.Stats.Cells)
+	}
+	// Only rows 1..c were touched, once each; the rest stayed on "disk".
+	for k, c := range src.reads {
+		if c > 1 {
+			t.Errorf("row %d read %d times, want at most once", k, c)
+		}
+		if k > want.C {
+			t.Errorf("row %d read for a c=%d budget", k, want.C)
+		}
+	}
+	// A deeper budget resumes the fill and matches the eager set.
+	deep := pta.Size(seq.Len() / 2)
+	wantDeep, err := warm.Compress(ctx, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDeep, err := lazy.Compress(ctx, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDeep.C != wantDeep.C || gotDeep.Error != wantDeep.Error || !gotDeep.Series.Equal(wantDeep.Series, 0) {
+		t.Errorf("lazy deep resume (C=%d, E=%g) != fresh (C=%d, E=%g)",
+			gotDeep.C, gotDeep.Error, wantDeep.C, wantDeep.Error)
+	}
+
+	// A source that fails after restore surfaces the typed loss, wrapped.
+	bad := &memRowSource{n: snap.N, splits: snap.Splits, failAt: 1}
+	lost, err := pta.RestoreMatrixSetLazy(seq, "ptac", pta.Options{}, &hollow, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = lost.Compress(ctx, shallow)
+	var wl *pta.WarmLostError
+	if !errors.As(err, &wl) {
+		t.Fatalf("failed source returned %v, want WarmLostError", err)
+	}
+	if wl.Row != 1 {
+		t.Errorf("WarmLostError.Row = %d, want 1", wl.Row)
+	}
+}
+
 // TestSnapshotRestoreRejections: corrupt or mismatched snapshots fail
 // cleanly instead of producing a poisoned set.
 func TestSnapshotRestoreRejections(t *testing.T) {
@@ -95,7 +199,10 @@ func TestSnapshotRestoreRejections(t *testing.T) {
 	if _, err := set.Compress(ctx, pta.Size(seq.Len()/4)); err != nil {
 		t.Fatal(err)
 	}
-	good := set.Snapshot()
+	good, err := set.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	mutate := func(name string, f func(s *pta.MatrixSnapshot)) {
 		s := *good
